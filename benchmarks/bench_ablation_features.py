@@ -1,0 +1,84 @@
+"""Ablation — feature views explain Table I's ordering.
+
+EXPERIMENTS.md claims the paper's published ordering (RF collapses,
+K-Means/CNN survive) emerges from per-model feature practice, not from
+the algorithms themselves.  This bench demonstrates it by evaluating the
+same Random Forest and K-Means under *swapped* views:
+
+* RF on the raw-count view (default)         -> collapses in real time
+* RF on the frequency-normalised view        -> largely recovers
+* K-Means on the normalised view (default)   -> holds in the 90s
+* K-Means on the raw-count view              -> collapses like RF
+
+That is: the live-rate shift breaks whichever model consumes absolute
+volume statistics, and spares whichever consumes scale-free ratios.
+"""
+
+from repro.ml import KMeansDetector, RandomForestClassifier
+from repro.testbed import ModelSpec, run_realtime_detection, train_models
+
+from conftest import write_result
+
+
+def crossed_specs(seed: int) -> list[ModelSpec]:
+    raw_view = dict(stat_set="paper", include_timestamp=True, scale=False)
+    norm_view = dict(
+        stat_set="normalized",
+        include_details=True,
+        include_timestamp=False,
+        scale=True,
+    )
+    return [
+        ModelSpec("RF/raw-counts",
+                  lambda n, s=seed: RandomForestClassifier(
+                      n_estimators=30, min_samples_leaf=4, random_state=s),
+                  **raw_view),
+        ModelSpec("RF/normalized",
+                  lambda n, s=seed: RandomForestClassifier(
+                      n_estimators=30, min_samples_leaf=4, random_state=s),
+                  **norm_view),
+        ModelSpec("KM/raw-counts",
+                  lambda n, s=seed: KMeansDetector(
+                      n_clusters=40, auto_k=False, random_state=s),
+                  **raw_view),
+        ModelSpec("KM/normalized",
+                  lambda n, s=seed: KMeansDetector(
+                      n_clusters=40, auto_k=False, random_state=s),
+                  **norm_view),
+    ]
+
+
+def run_crossed(train_capture, detect_capture, scenario):
+    trained = train_models(
+        train_capture,
+        specs=crossed_specs(scenario.seed),
+        window_seconds=scenario.window_seconds,
+        seed=scenario.seed,
+    )
+    reports = run_realtime_detection(
+        detect_capture, trained, window_seconds=scenario.window_seconds
+    )
+    return {r.model_name: 100 * r.mean_accuracy for r in reports}
+
+
+def test_ablation_feature_views(benchmark, train_capture, detect_capture, scenario):
+    accuracy = benchmark.pedantic(
+        run_crossed, args=(train_capture, detect_capture, scenario), rounds=1, iterations=1
+    )
+    lines = [
+        "Ablation: model x feature-view cross (real-time accuracy %)",
+        f"{'config':<16}{'realtime %':>12}",
+    ]
+    for name in ("RF/raw-counts", "RF/normalized", "KM/raw-counts", "KM/normalized"):
+        lines.append(f"{name:<16}{accuracy[name]:>12.2f}")
+    lines.append(
+        "reading: the live-rate shift breaks the raw-count view regardless "
+        "of model; the normalized view survives regardless of model."
+    )
+    write_result("ablation_feature_views", lines)
+
+    # The view, not the model, decides survival under rate shift.
+    assert accuracy["RF/raw-counts"] < 82.0
+    assert accuracy["KM/raw-counts"] < 90.0
+    assert accuracy["RF/normalized"] > accuracy["RF/raw-counts"] + 8.0
+    assert accuracy["KM/normalized"] > accuracy["KM/raw-counts"] + 8.0

@@ -1,0 +1,46 @@
+"""§IV-D dataset composition — the generated training capture's balance.
+
+Paper: the 10-minute dataset-generation run produced a "nearly balanced"
+capture of 3,012,885 malicious and 2,243,634 benign packets (57.3 % /
+42.7 %).  The bench times a fresh dataset-generation capture on the
+shared testbed and regenerates the composition summary; absolute counts
+scale with the simulated run length, but the malicious/benign balance
+must match the paper's.
+"""
+
+from repro.testbed import Scenario, Testbed
+
+from conftest import write_result
+
+PAPER_MALICIOUS = 3_012_885
+PAPER_BENIGN = 2_243_634
+PAPER_FRACTION = PAPER_MALICIOUS / (PAPER_MALICIOUS + PAPER_BENIGN)  # 0.5732
+
+
+def generate(scenario: Scenario, duration: float = 45.0):
+    testbed = Testbed(scenario).build()
+    testbed.infect_all()
+    return testbed.capture(duration, scenario.training_schedule(duration))
+
+
+def test_dataset_composition(benchmark):
+    scenario = Scenario(n_devices=6, seed=13)
+    capture = benchmark.pedantic(generate, args=(scenario,), rounds=1, iterations=1)
+    summary = capture.summary()
+    lines = [
+        "Dataset composition (paper: 3,012,885 malicious / 2,243,634 benign = 57.3%/42.7%)",
+        f"packets: {summary.total} over {summary.duration:.1f}s (scaled run)",
+        f"malicious: {summary.malicious} ({100 * summary.malicious_fraction:.1f}%)",
+        f"benign:    {summary.benign} ({100 * (1 - summary.malicious_fraction):.1f}%)",
+    ]
+    for attack, count in sorted(summary.by_attack.items()):
+        lines.append(f"  {attack}: {count}")
+    write_result("dataset_composition", lines)
+
+    # Balance matches the paper within a few points.
+    assert abs(summary.malicious_fraction - PAPER_FRACTION) < 0.08
+    # All three Mirai flood types are present, in comparable volume.
+    for attack in ("syn_flood", "ack_flood", "udp_flood"):
+        assert summary.by_attack.get(attack, 0) > 0
+    counts = [summary.by_attack[a] for a in ("syn_flood", "ack_flood", "udp_flood")]
+    assert max(counts) < 2 * min(counts)

@@ -1,0 +1,20 @@
+"""DDoShield-IoT reproduction.
+
+A from-scratch Python implementation of the DDoShield-IoT testbed
+(De Vivo, Obaidat, Dai, Liguori - DSN 2024): a discrete-event network
+simulator standing in for NS-3, a container-runtime emulation standing in
+for Docker, a full Mirai botnet lifecycle, benign HTTP/FTP/RTMP traffic
+generators, a packet-capture and feature-extraction pipeline, and
+from-scratch ML detectors (Random Forest, U-K-Means, CNN, plus the
+paper's future-work models) evaluated by a real-time IDS engine.
+
+Quickstart::
+
+    from repro.testbed import Scenario, Testbed
+
+    scenario = Scenario(n_devices=6, seed=7)
+    testbed = Testbed(scenario)
+    dataset = testbed.generate_dataset(duration=30.0)
+"""
+
+__version__ = "1.0.0"

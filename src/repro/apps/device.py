@@ -1,0 +1,100 @@
+"""IoT device behaviour profiles.
+
+Each Dev container runs a :class:`DeviceProfile`: a weighted mix of the
+three benign clients (HTTP, FTP, RTMP) aimed at the TServer, plus the
+vulnerable telnet service the Mirai scanner exploits (installed
+separately by the testbed builder).  The mix and pacing are seeded per
+device so the fleet's aggregate traffic is diverse but reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.apps.ftp import FtpClient
+from repro.apps.http import HttpClient
+from repro.apps.rtmp import RtmpClient
+from repro.containers.container import Process
+from repro.sim.address import Ipv4Address
+
+
+@dataclass(frozen=True)
+class TrafficMix:
+    """Relative weights and pacing for a device's benign sessions."""
+
+    http_weight: float = 0.6
+    ftp_weight: float = 0.15
+    rtmp_weight: float = 0.25
+    mean_session_interval: float = 8.0
+
+    def __post_init__(self) -> None:
+        total = self.http_weight + self.ftp_weight + self.rtmp_weight
+        if total <= 0:
+            raise ValueError("traffic mix weights must sum to a positive value")
+
+
+class DeviceProfile(Process):
+    """Drives a device's benign sessions against the TServer."""
+
+    name = "device-profile"
+
+    def __init__(
+        self,
+        tserver: Ipv4Address,
+        http_pages: list[str],
+        ftp_files: list[str],
+        mix: TrafficMix | None = None,
+        seed: int = 0,
+        start_delay: float = 0.0,
+        rtmp_duration: tuple[float, float] = (4.0, 10.0),
+    ) -> None:
+        super().__init__()
+        self.tserver = tserver
+        self.mix = mix or TrafficMix()
+        self.rng = random.Random(seed)
+        self.start_delay = start_delay
+        self.http = HttpClient(tserver, http_pages, mean_interval=1e9, seed=seed * 3 + 1)
+        self.ftp = FtpClient(tserver, ftp_files, mean_interval=1e9, seed=seed * 3 + 2)
+        self.rtmp = RtmpClient(
+            tserver,
+            mean_interval=1e9,
+            min_duration=rtmp_duration[0],
+            max_duration=rtmp_duration[1],
+            seed=seed * 3 + 3,
+        )
+        self.sessions_started = 0
+        self._next_event = None
+
+    def on_start(self) -> None:
+        # Sub-clients are driven by this profile, not their own timers:
+        # their huge mean_interval means they never self-schedule.
+        for client in (self.http, self.ftp, self.rtmp):
+            client.container = self.container
+            client.running = True
+        self._next_event = self.sim.schedule(
+            self.start_delay + self.rng.expovariate(1.0 / self.mix.mean_session_interval),
+            self._session,
+        )
+
+    def on_stop(self) -> None:
+        if self._next_event is not None:
+            self._next_event.cancel()
+        for client in (self.http, self.ftp, self.rtmp):
+            client.running = False
+
+    def _session(self) -> None:
+        if not self.running:
+            return
+        self.sessions_started += 1
+        weights = (self.mix.http_weight, self.mix.ftp_weight, self.mix.rtmp_weight)
+        kind = self.rng.choices(("http", "ftp", "rtmp"), weights=weights)[0]
+        if kind == "http":
+            self.http.fetch_once()
+        elif kind == "ftp":
+            self.ftp.download_once()
+        else:
+            self.rtmp.play_once()
+        self._next_event = self.sim.schedule(
+            self.rng.expovariate(1.0 / self.mix.mean_session_interval), self._session
+        )

@@ -1,0 +1,139 @@
+"""Benign UDP services: DNS lookups and NTP time sync.
+
+IoT devices chatter constantly over UDP — name lookups before every
+cloud call, periodic clock sync.  These small request/response exchanges
+put benign UDP on the wire, so a UDP flood cannot be identified by the
+protocol field alone (as on any real network).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.containers.container import Process
+from repro.sim.address import Ipv4Address
+
+DNS_PORT = 53
+NTP_PORT = 123
+
+
+class DnsServer(Process):
+    """Answers DNS queries with fixed-size responses."""
+
+    name = "dns-server"
+
+    def __init__(self, port: int = DNS_PORT, response_bytes: int = 120) -> None:
+        super().__init__()
+        self.port = port
+        self.response_bytes = response_bytes
+        self.queries_answered = 0
+        self._sock = None
+
+    def on_start(self) -> None:
+        self._sock = self.node.udp.bind(self.port)
+        self._sock.on_receive = self._answer
+
+    def on_stop(self) -> None:
+        if self._sock is not None:
+            self._sock.close()
+
+    def _answer(self, sock, payload, length, src, sport) -> None:
+        self.queries_answered += 1
+        sock.send_to(src, sport, length=self.response_bytes, app_data=("dns", "answer"))
+
+
+class NtpServer(Process):
+    """Answers NTP requests with 48-byte timestamps."""
+
+    name = "ntp-server"
+
+    def __init__(self, port: int = NTP_PORT) -> None:
+        super().__init__()
+        self.port = port
+        self.requests_answered = 0
+        self._sock = None
+
+    def on_start(self) -> None:
+        self._sock = self.node.udp.bind(self.port)
+        self._sock.on_receive = self._answer
+
+    def on_stop(self) -> None:
+        if self._sock is not None:
+            self._sock.close()
+
+    def _answer(self, sock, payload, length, src, sport) -> None:
+        self.requests_answered += 1
+        sock.send_to(src, sport, length=48, app_data=("ntp", "reply"))
+
+
+class UdpChatter(Process):
+    """A device's background UDP behaviour: DNS queries and NTP syncs."""
+
+    name = "udp-chatter"
+
+    def __init__(
+        self,
+        server: Ipv4Address,
+        mean_dns_interval: float = 2.0,
+        mean_ntp_interval: float = 16.0,
+        seed: int = 0,
+        start_delay: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.server = server
+        self.mean_dns_interval = mean_dns_interval
+        self.mean_ntp_interval = mean_ntp_interval
+        self.rng = random.Random(seed)
+        self.start_delay = start_delay
+        self.queries_sent = 0
+        self.responses_received = 0
+        self._events = []
+        self._sock = None
+
+    def on_start(self) -> None:
+        self._sock = self.node.udp.bind(0)
+        self._sock.on_receive = self._on_response
+        self._events = [
+            self.sim.schedule(
+                self.start_delay + self.rng.expovariate(1.0 / self.mean_dns_interval),
+                self._dns_query,
+            ),
+            self.sim.schedule(
+                self.start_delay + self.rng.expovariate(1.0 / self.mean_ntp_interval),
+                self._ntp_sync,
+            ),
+        ]
+
+    def on_stop(self) -> None:
+        for event in self._events:
+            event.cancel()
+        if self._sock is not None:
+            self._sock.close()
+
+    def _on_response(self, sock, payload, length, src, sport) -> None:
+        self.responses_received += 1
+
+    def _dns_query(self) -> None:
+        if not self.running:
+            return
+        self.queries_sent += 1
+        name = f"device-{self.rng.randrange(64)}.iot.example"
+        self._sock.send_to(
+            self.server, DNS_PORT, length=30 + len(name), app_data=("dns", name)
+        )
+        self._events.append(
+            self.sim.schedule(
+                self.rng.expovariate(1.0 / self.mean_dns_interval), self._dns_query
+            )
+        )
+
+    def _ntp_sync(self) -> None:
+        if not self.running:
+            return
+        self.queries_sent += 1
+        self._sock.send_to(self.server, NTP_PORT, length=48, app_data=("ntp", "req"))
+        self._events.append(
+            self.sim.schedule(
+                self.rng.expovariate(1.0 / self.mean_ntp_interval), self._ntp_sync
+            )
+        )

@@ -1,0 +1,168 @@
+"""Extended Mirai attack modules beyond the paper's three.
+
+The real Mirai ships ~10 attack vectors; the paper evaluates SYN/ACK/UDP
+floods and explicitly defers "more complex application-level attacks
+like HTTP Flood or DNS Flood, which necessitate additional
+application-level analysis".  These modules implement that deferred
+surface plus two more of Mirai's classics:
+
+* :class:`GreFlood` — raw IP protocol 47 (GRE) packets, the vector Mirai
+  used against KrebsOnSecurity;
+* :class:`VseFlood` — Valve Source Engine query flood (UDP 27015 with
+  the magic ``TSource Engine Query`` payload);
+* :class:`DnsFlood` — "water torture": queries for random subdomains so
+  every request misses caches and the resolver answers each one;
+* :class:`HttpFlood` — application-level GET flood over real TCP
+  connections (handshake, request, response), which is why signature-free
+  volumetric features struggle with it.
+"""
+
+from __future__ import annotations
+
+from repro.botnet.attacks import ATTACKS, SPORT_RANGE, AttackModule
+from repro.sim.packet import Ipv4Header, Packet
+
+PROTO_GRE = 47
+VSE_PORT = 27015
+VSE_PAYLOAD = b"\xff\xff\xff\xffTSource Engine Query\x00"
+
+
+class GreFlood(AttackModule):
+    """Raw GRE (IP proto 47) flood with sizable encapsulated payloads."""
+
+    attack_name = "gre_flood"
+
+    def __init__(self, *args, payload_bytes: int = 512, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.payload_bytes = payload_bytes
+
+    def _send_one(self) -> None:
+        packet = Packet(
+            ip=Ipv4Header(
+                src=self.node.address,
+                dst=self.target,
+                protocol=PROTO_GRE,
+                identification=self.rng.randrange(1 << 16),
+            ),
+            payload_len=self.payload_bytes,
+            provenance=self.provenance,
+        )
+        self.node.send_ipv4(packet)
+
+
+class VseFlood(AttackModule):
+    """Valve Source Engine query flood (fixed 25-byte magic payload)."""
+
+    attack_name = "vse_flood"
+
+    def _send_one(self) -> None:
+        self.node.udp.send_datagram(
+            src_port=self.rng.randrange(*SPORT_RANGE),
+            dst=self.target,
+            dst_port=VSE_PORT,
+            payload=VSE_PAYLOAD,
+            provenance=self.provenance,
+        )
+
+
+class DnsFlood(AttackModule):
+    """DNS water-torture: random-subdomain queries the resolver must answer."""
+
+    attack_name = "dns_flood"
+
+    def __init__(self, *args, domain: str = "iot.example", **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.domain = domain
+
+    def _send_one(self) -> None:
+        label = "".join(
+            self.rng.choice("abcdefghijklmnopqrstuvwxyz0123456789") for _ in range(12)
+        )
+        query = f"{label}.{self.domain}".encode("ascii")
+        self.node.udp.send_datagram(
+            src_port=self.rng.randrange(*SPORT_RANGE),
+            dst=self.target,
+            dst_port=53,
+            payload=query,
+            payload_len=30 + len(query),
+            provenance=self.provenance,
+        )
+
+
+class HttpFlood(AttackModule):
+    """Application-level GET flood over genuine TCP connections.
+
+    Maintains a rotating pool of established connections and issues GET
+    requests at the target rate; every request draws a full response, so
+    the victim spends real service capacity.  Because each packet is a
+    well-formed HTTP exchange, this is the vector the paper notes
+    requires application-level analysis to detect.
+    """
+
+    attack_name = "http_flood"
+
+    def __init__(self, *args, pool_size: int = 8, path_pool: int = 64, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.pool_size = pool_size
+        self.path_pool = path_pool
+        self.requests_sent = 0
+        self._sockets: list = []
+
+    def start(self) -> None:
+        if self.active:
+            return
+        for _ in range(self.pool_size):
+            self._open_connection()
+        super().start()
+
+    def stop(self) -> None:
+        super().stop()
+        for sock in self._sockets:
+            if sock.state.name != "CLOSED":
+                sock.abort()
+        self._sockets.clear()
+
+    def _open_connection(self) -> None:
+        sock = self.node.tcp.socket()
+        sock.provenance = self.provenance
+        sock.on_data = lambda s, p, n, a: None  # drain responses
+        sock.on_reset = lambda s: self._replace(s)
+        sock.connect(self.target, self.target_port)
+        self._sockets.append(sock)
+
+    def _replace(self, sock) -> None:
+        if sock in self._sockets:
+            self._sockets.remove(sock)
+        if self.active:
+            # Reconnect after a short backoff — an immediate retry against
+            # a resetting server would melt into a reconnect storm.
+            self.sim.schedule(0.5, self._reopen)
+
+    def _reopen(self) -> None:
+        if self.active and len(self._sockets) < self.pool_size:
+            self._open_connection()
+
+    def _send_one(self) -> None:
+        ready = [s for s in self._sockets if s.writable]
+        if not ready:
+            return
+        sock = ready[self.rng.randrange(len(ready))]
+        path = f"/page{self.rng.randrange(self.path_pool)}.html"
+        request = f"GET {path} HTTP/1.1\r\nHost: victim\r\n\r\n".encode("ascii")
+        sock.send(request, app_data=("http-get", path))
+        self.requests_sent += 1
+
+
+# Register the extended vectors alongside the paper's three.
+ATTACKS.update(
+    {
+        "gre": GreFlood,
+        "gre_flood": GreFlood,
+        "vse": VseFlood,
+        "vse_flood": VseFlood,
+        "dns": DnsFlood,
+        "dns_flood": DnsFlood,
+        "http": HttpFlood,
+        "http_flood": HttpFlood,
+    }
+)

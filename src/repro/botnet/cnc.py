@@ -1,0 +1,115 @@
+"""The Mirai command-and-control server.
+
+Bots connect over TCP, register, and keep the channel alive with pings;
+the botmaster's admin surface is :meth:`CncServer.launch_attack`, which
+broadcasts an attack order to every connected bot (mirroring the real
+CNC's attack command fan-out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.containers.container import Process
+from repro.sim.address import Ipv4Address
+from repro.sim.packet import Provenance
+from repro.sim.tcp import TcpSocket
+
+CNC_PORT = 23
+
+
+@dataclass(frozen=True)
+class AttackOrder:
+    """One attack command as broadcast to the botnet."""
+
+    kind: str
+    target: Ipv4Address
+    target_port: int
+    duration: float
+    pps: float
+
+    def encode(self) -> bytes:
+        return (
+            f"ATTACK {self.kind} {self.target} {self.target_port} "
+            f"{self.duration} {self.pps}\r\n"
+        ).encode("ascii")
+
+    @classmethod
+    def decode(cls, line: str) -> "AttackOrder":
+        parts = line.split()
+        if len(parts) != 6 or parts[0] != "ATTACK":
+            raise ValueError(f"malformed attack order: {line!r}")
+        return cls(
+            kind=parts[1],
+            target=Ipv4Address.parse(parts[2]),
+            target_port=int(parts[3]),
+            duration=float(parts[4]),
+            pps=float(parts[5]),
+        )
+
+
+class CncServer(Process):
+    """Tracks registered bots and fans out attack orders."""
+
+    name = "cnc"
+
+    def __init__(self, port: int = CNC_PORT) -> None:
+        super().__init__()
+        self.port = port
+        self.provenance = Provenance(origin="cnc", malicious=True, attack="c2")
+        self.bots: dict[str, TcpSocket] = {}
+        self.orders_issued: list[AttackOrder] = []
+        self.pings_received = 0
+        self._listener = None
+
+    def on_start(self) -> None:
+        self._listener = self.node.tcp.listen(self.port, self._on_accept, backlog=256)
+        self.node.tcp.default_provenance = self.provenance
+
+    def on_stop(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+        for sock in self.bots.values():
+            sock.close()
+        self.bots.clear()
+
+    @property
+    def bot_count(self) -> int:
+        return len(self.bots)
+
+    def launch_attack(
+        self,
+        kind: str,
+        target: Ipv4Address,
+        target_port: int = 80,
+        duration: float = 10.0,
+        pps: float = 100.0,
+    ) -> AttackOrder:
+        """Broadcast an attack order to every registered bot."""
+        order = AttackOrder(kind, target, target_port, duration, pps)
+        self.orders_issued.append(order)
+        for sock in list(self.bots.values()):
+            sock.provenance = self.provenance
+            sock.send(order.encode(), app_data=("cnc", "attack"))
+        return order
+
+    def _on_accept(self, sock: TcpSocket) -> None:
+        sock.provenance = self.provenance
+        sock.on_data = self._on_message
+        sock.on_reset = lambda s: self._drop(s)
+        sock.on_close = lambda s: self._drop(s)
+
+    def _on_message(self, sock: TcpSocket, payload: bytes, length: int, app_data: object) -> None:
+        line = payload.decode("ascii", errors="replace").strip()
+        verb, _, argument = line.partition(" ")
+        if verb == "REG":
+            self.bots[argument] = sock
+            sock.send(b"OK\r\n")
+        elif verb == "PING":
+            self.pings_received += 1
+            sock.send(b"PONG\r\n")
+
+    def _drop(self, sock: TcpSocket) -> None:
+        for bot_id, known in list(self.bots.items()):
+            if known is sock:
+                del self.bots[bot_id]

@@ -1,0 +1,88 @@
+"""The Mirai default-credential dictionary.
+
+The (user, password) pairs below are the list hardcoded in the leaked
+Mirai source (``scanner.c``), which the real malware weights and tries
+against open telnet services.  Devices in the testbed pick their login
+from this list, so the emulated scanner succeeds the way Mirai does: not
+by exploiting a software bug, but by walking factory-default credentials.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: (username, password) pairs from the leaked Mirai scanner table.
+MIRAI_CREDENTIALS: tuple[tuple[str, str], ...] = (
+    ("root", "xc3511"),
+    ("root", "vizxv"),
+    ("root", "admin"),
+    ("admin", "admin"),
+    ("root", "888888"),
+    ("root", "xmhdipc"),
+    ("root", "default"),
+    ("root", "juantech"),
+    ("root", "123456"),
+    ("root", "54321"),
+    ("support", "support"),
+    ("root", ""),
+    ("admin", "password"),
+    ("root", "root"),
+    ("root", "12345"),
+    ("user", "user"),
+    ("admin", ""),
+    ("root", "pass"),
+    ("admin", "admin1234"),
+    ("root", "1111"),
+    ("admin", "smcadmin"),
+    ("admin", "1111"),
+    ("root", "666666"),
+    ("root", "password"),
+    ("root", "1234"),
+    ("root", "klv123"),
+    ("Administrator", "admin"),
+    ("service", "service"),
+    ("supervisor", "supervisor"),
+    ("guest", "guest"),
+    ("guest", "12345"),
+    ("admin1", "password"),
+    ("administrator", "1234"),
+    ("666666", "666666"),
+    ("888888", "888888"),
+    ("ubnt", "ubnt"),
+    ("root", "klv1234"),
+    ("root", "Zte521"),
+    ("root", "hi3518"),
+    ("root", "jvbzd"),
+    ("root", "anko"),
+    ("root", "zlxx."),
+    ("root", "7ujMko0vizxv"),
+    ("root", "7ujMko0admin"),
+    ("root", "system"),
+    ("root", "ikwb"),
+    ("root", "dreambox"),
+    ("root", "user"),
+    ("root", "realtek"),
+    ("root", "00000000"),
+    ("admin", "1111111"),
+    ("admin", "1234"),
+    ("admin", "12345"),
+    ("admin", "54321"),
+    ("admin", "123456"),
+    ("admin", "7ujMko0admin"),
+    ("admin", "meinsm"),
+    ("tech", "tech"),
+    ("mother", "fucker"),
+)
+
+
+def random_credential(seed: int) -> tuple[str, str]:
+    """Pick a deterministic factory-default credential for a device."""
+    return random.Random(seed).choice(MIRAI_CREDENTIALS)
+
+
+def credential_index(pair: tuple[str, str]) -> int:
+    """Position of ``pair`` in the dictionary (brute-force cost proxy)."""
+    try:
+        return MIRAI_CREDENTIALS.index(pair)
+    except ValueError:
+        return -1

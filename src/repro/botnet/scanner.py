@@ -1,0 +1,152 @@
+"""The Mirai telnet scanner.
+
+Walks a target address list in seeded-random order, opens TCP/23, and
+brute-forces the credential dictionary over the telnet dialogue (three
+attempts per connection before the daemon cuts the line, then it
+reconnects, exactly like the real scanner's reconnect loop).  Successful
+logins are reported through ``on_credentials_found`` — the hand-off to
+the loader.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.botnet.credentials import MIRAI_CREDENTIALS
+from repro.botnet.telnet import TELNET_PORT
+from repro.containers.container import Process
+from repro.sim.address import Ipv4Address
+from repro.sim.packet import Provenance
+
+CONNECT_TIMEOUT = 5.0
+
+#: Called with (target, username, password) when a login succeeds.
+FoundFn = Callable[[Ipv4Address, str, str], None]
+
+
+class MiraiScanner(Process):
+    """Scans for weak telnet logins with bounded concurrency."""
+
+    name = "mirai-scanner"
+
+    def __init__(
+        self,
+        on_credentials_found: FoundFn,
+        credentials: tuple[tuple[str, str], ...] = MIRAI_CREDENTIALS,
+        concurrency: int = 4,
+        seed: int = 11,
+        on_complete: Callable[[], None] | None = None,
+    ) -> None:
+        super().__init__()
+        self.on_credentials_found = on_credentials_found
+        self.credentials = credentials
+        self.concurrency = concurrency
+        self.rng = random.Random(seed)
+        self.on_complete = on_complete
+        self.provenance = Provenance(origin="scanner", malicious=True, attack="scan")
+        self.hosts_scanned = 0
+        self.hosts_cracked = 0
+        self.connections_opened = 0
+        self._pending: list[Ipv4Address] = []
+        self._active = 0
+        self._exclude: set[int] = set()
+
+    def on_start(self) -> None:
+        self._exclude.add(self.node.address.value)
+
+    def scan(self, targets: list[Ipv4Address]) -> None:
+        """Begin scanning ``targets`` (order is shuffled deterministically)."""
+        shuffled = [t for t in targets if t.value not in self._exclude]
+        self.rng.shuffle(shuffled)
+        self._pending.extend(shuffled)
+        self._fill()
+
+    def exclude(self, address: Ipv4Address) -> None:
+        """Never scan ``address`` (self, the CNC, the TServer...)."""
+        self._exclude.add(address.value)
+
+    def _fill(self) -> None:
+        while self._active < self.concurrency and self._pending:
+            target = self._pending.pop()
+            if target.value in self._exclude:
+                continue
+            self._active += 1
+            order = list(range(len(self.credentials)))
+            self.rng.shuffle(order)
+            self._probe(target, order)
+
+    def _finish_target(self) -> None:
+        self._active -= 1
+        self.hosts_scanned += 1
+        self._fill()
+        if self._active == 0 and not self._pending and self.on_complete is not None:
+            self.on_complete()
+
+    def _probe(self, target: Ipv4Address, remaining: list[int]) -> None:
+        """Open one telnet connection and try up to three credentials."""
+        if not self.running:
+            return
+        if not remaining:
+            self._finish_target()
+            return
+        sock = self.node.tcp.socket()
+        sock.provenance = self.provenance
+        self.connections_opened += 1
+        state = {"tried_here": 0, "current": None, "done": False}
+
+        timeout = self.sim.schedule(CONNECT_TIMEOUT, self._on_timeout, sock, state, target)
+
+        def finish(success: bool) -> None:
+            if state["done"]:
+                return
+            state["done"] = True
+            timeout.cancel()
+            if success:
+                self.hosts_cracked += 1
+                user, password = self.credentials[state["current"]]
+                self.on_credentials_found(target, user, password)
+                self._finish_target()
+            elif state["tried_here"] == 0:
+                # Connection refused/reset before the banner: no telnet
+                # service behind this address — give up on the target.
+                self._finish_target()
+            elif remaining:
+                self._probe(target, remaining)  # reconnect with next batch
+            else:
+                self._finish_target()
+
+        def on_data(s, payload: bytes, length: int, app_data: object) -> None:
+            text = payload.decode("ascii", errors="replace")
+            if state["done"]:
+                return
+            if "login:" in text:
+                if state["tried_here"] >= 3 or not remaining:
+                    s.close()
+                    finish(False)
+                    return
+                state["current"] = remaining.pop()
+                state["tried_here"] += 1
+                user, _ = self.credentials[state["current"]]
+                s.send(user.encode("ascii") + b"\r\n")
+            elif "Password:" in text:
+                _, password = self.credentials[state["current"]]
+                s.send(password.encode("ascii") + b"\r\n")
+            elif "shell" in text or text.startswith("# "):
+                s.close()
+                finish(True)
+            elif "Login incorrect" in text and "login:" not in text:
+                # daemon hung up after too many attempts
+                finish(False)
+
+        sock.on_data = on_data
+        sock.on_reset = lambda s: finish(False)
+        sock.on_close = lambda s: finish(False)
+        sock.connect(target, TELNET_PORT)
+
+    def _on_timeout(self, sock, state: dict, target: Ipv4Address) -> None:
+        if state["done"]:
+            return
+        state["done"] = True
+        sock.abort()
+        self._finish_target()

@@ -1,0 +1,116 @@
+"""The vulnerable telnet service running on every Dev.
+
+A line-based telnet-ish daemon with a factory-default login drawn from
+the Mirai dictionary.  After authentication it accepts a tiny shell
+surface, including the ``DOWNLOAD <size>`` command the loader uses to
+push the bot binary; once the full binary has been received the service
+fires its ``on_infected`` callback, which the testbed wires to
+``container.exec(MiraiBot(...))`` — the infection moment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.containers.container import Process
+from repro.sim.tcp import TcpSocket
+
+TELNET_PORT = 23
+MAX_LOGIN_ATTEMPTS = 3
+
+
+class VulnerableTelnet(Process):
+    """Telnet daemon with weak credentials and a remote-download 'shell'."""
+
+    name = "telnet"
+
+    def __init__(
+        self,
+        username: str,
+        password: str,
+        port: int = TELNET_PORT,
+        on_infected: Callable[["VulnerableTelnet"], None] | None = None,
+    ) -> None:
+        super().__init__()
+        self.username = username
+        self.password = password
+        self.port = port
+        self.on_infected = on_infected
+        self.login_attempts = 0
+        self.successful_logins = 0
+        self.infected = False
+        self._listener = None
+
+    def on_start(self) -> None:
+        self._listener = self.node.tcp.listen(self.port, self._on_accept)
+
+    def on_stop(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+
+    def _on_accept(self, sock: TcpSocket) -> None:
+        session = {
+            "stage": "user",
+            "user": None,
+            "attempts": 0,
+            "download_remaining": 0,
+        }
+        sock.on_data = lambda s, p, n, a: self._on_line(s, p, n, session)
+        sock.send(b"login: ")
+
+    def _on_line(self, sock: TcpSocket, payload: bytes, length: int, session: dict) -> None:
+        if not sock.writable:
+            return  # line arrived after we hung up (half-close race)
+        if session["stage"] == "download":
+            self._consume_binary(sock, length, session)
+            return
+        line = payload.decode("ascii", errors="replace").strip()
+        if session["stage"] == "user":
+            session["user"] = line
+            session["stage"] = "pass"
+            sock.send(b"Password: ")
+        elif session["stage"] == "pass":
+            self.login_attempts += 1
+            session["attempts"] += 1
+            if session["user"] == self.username and line == self.password:
+                self.successful_logins += 1
+                session["stage"] = "shell"
+                sock.send(b"BusyBox v1.12.1 shell\r\n# ")
+            elif session["attempts"] >= MAX_LOGIN_ATTEMPTS:
+                sock.send(b"Login incorrect\r\n")
+                sock.close()
+            else:
+                session["stage"] = "user"
+                sock.send(b"Login incorrect\r\nlogin: ")
+        elif session["stage"] == "shell":
+            self._on_shell_command(sock, line, session)
+
+    def _on_shell_command(self, sock: TcpSocket, line: str, session: dict) -> None:
+        verb, _, argument = line.partition(" ")
+        if verb == "DOWNLOAD":
+            try:
+                session["download_remaining"] = int(argument)
+            except ValueError:
+                sock.send(b"sh: bad size\r\n# ")
+                return
+            session["stage"] = "download"
+            sock.send(b"READY\r\n")
+        elif verb == "ps":
+            names = ",".join(p.name for p in (self.container.processes if self.container else []))
+            sock.send(f"{names}\r\n# ".encode("ascii"))
+        elif verb == "exit":
+            sock.send(b"logout\r\n")
+            sock.close()
+        else:
+            sock.send(b"sh: not found\r\n# ")
+
+    def _consume_binary(self, sock: TcpSocket, length: int, session: dict) -> None:
+        session["download_remaining"] -= length
+        if session["download_remaining"] > 0:
+            return
+        session["stage"] = "shell"
+        sock.send(b"EXECUTED\r\n# ")
+        if not self.infected:
+            self.infected = True
+            if self.on_infected is not None:
+                self.on_infected(self)

@@ -1,0 +1,33 @@
+"""Traffic capture products: labelled datasets built from packet records.
+
+The testbed's dataset-generation phase runs the full botnet scenario and
+collects every packet the IDS tap sees into a
+:class:`~repro.capture.dataset.TrafficDataset` — the artifact the paper
+trains its models on (their 10-minute run produced ~3.0M malicious and
+~2.2M benign packets).
+"""
+
+from repro.capture.analysis import (
+    AttackInterval,
+    CaptureReport,
+    FlowStats,
+    aggregate_flows,
+    analyze,
+    attack_intervals,
+    rate_series,
+    top_talkers,
+)
+from repro.capture.dataset import DatasetSummary, TrafficDataset
+
+__all__ = [
+    "AttackInterval",
+    "CaptureReport",
+    "DatasetSummary",
+    "FlowStats",
+    "TrafficDataset",
+    "aggregate_flows",
+    "analyze",
+    "attack_intervals",
+    "rate_series",
+    "top_talkers",
+]

@@ -1,0 +1,111 @@
+"""Command-line interface: ``ddoshield <command>``.
+
+Three commands cover the testbed's day-to-day uses:
+
+* ``ddoshield experiment`` — the full §IV-D reproduction (train + live
+  detection), printing Tables I/II;
+* ``ddoshield dataset`` — generate a labelled capture and export CSV
+  (and optionally pcap);
+* ``ddoshield inventory`` — build the Figure 1 topology, run the Mirai
+  lifecycle, and print the live component inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--devices", type=int, default=6, help="number of Dev containers")
+    parser.add_argument("--seed", type=int, default=7, help="scenario seed")
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.testbed import Scenario, run_full_experiment
+
+    scenario = Scenario(n_devices=args.devices, seed=args.seed)
+    result = run_full_experiment(
+        scenario,
+        train_duration=args.train_duration,
+        detect_duration=args.detect_duration,
+    )
+    print(result.train_summary)
+    print("\ntraining metrics (held-out split):")
+    for name, accuracy, precision, recall, f1 in result.training_metrics():
+        print(f"  {name}: acc={accuracy:.4f} p={precision:.4f} r={recall:.4f} f1={f1:.4f}")
+    print("\nTable I — real-time accuracy (%):")
+    for name, accuracy in result.table1():
+        print(f"  {name}: {accuracy:.2f}")
+    print("\nTable II — sustainability:")
+    for name, cpu, mem, size in result.table2():
+        print(f"  {name}: cpu={cpu:.2f}% mem={mem:.2f}Kb model={size:.2f}Kb")
+    return 0
+
+
+def cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.testbed import Scenario, Testbed
+
+    scenario = Scenario(n_devices=args.devices, seed=args.seed)
+    testbed = Testbed(scenario).build()
+    testbed.infect_all()
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    pcap_path = str(out / "capture.pcap") if args.pcap else None
+    capture = testbed.capture(
+        args.duration, scenario.training_schedule(args.duration), pcap_path=pcap_path
+    )
+    capture.to_csv(out / "capture.csv")
+    print(capture.summary())
+    print(f"wrote {out / 'capture.csv'}")
+    if pcap_path:
+        print(f"wrote {pcap_path}")
+    return 0
+
+
+def cmd_inventory(args: argparse.Namespace) -> int:
+    from repro.testbed import Scenario, Testbed
+
+    scenario = Scenario(n_devices=args.devices, seed=args.seed)
+    testbed = Testbed(scenario).build()
+    seconds = testbed.infect_all()
+    print(f"infection completed in {seconds:.1f} sim-seconds; "
+          f"{testbed.bot_count} bots registered")
+    for container, processes in sorted(testbed.component_inventory().items()):
+        print(f"  {container}: {', '.join(sorted(processes))}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ddoshield",
+        description="DDoShield-IoT reproduction: IoT botnet DDoS testbed + IDS evaluation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiment = sub.add_parser("experiment", help="run the full paper reproduction")
+    _add_scenario_args(experiment)
+    experiment.add_argument("--train-duration", type=float, default=60.0)
+    experiment.add_argument("--detect-duration", type=float, default=30.0)
+    experiment.set_defaults(fn=cmd_experiment)
+
+    dataset = sub.add_parser("dataset", help="generate and export a labelled capture")
+    _add_scenario_args(dataset)
+    dataset.add_argument("--duration", type=float, default=60.0)
+    dataset.add_argument("--out", default="dataset_out")
+    dataset.add_argument("--pcap", action="store_true", help="also write a pcap file")
+    dataset.set_defaults(fn=cmd_dataset)
+
+    inventory = sub.add_parser("inventory", help="build the topology and list components")
+    _add_scenario_args(inventory)
+    inventory.set_defaults(fn=cmd_inventory)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Tap bridges: graft a container onto the simulated network.
+
+DDoSim connects each Docker container to NS-3 through a veth/tap pair and
+a ghost node.  Here the :class:`TapBridge` creates the ghost
+:class:`~repro.sim.node.Node`, attaches it to a LAN, and hands it to the
+container, so container processes do socket I/O directly on the simulated
+stack — the same "container speaks through the simulation" topology as
+the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from repro.sim.core import Simulator
+from repro.sim.node import Node
+from repro.sim.topology import CsmaLan
+
+
+class TapBridge:
+    """Builds ghost nodes on a LAN for containers to use."""
+
+    def __init__(self, sim: Simulator, lan: CsmaLan) -> None:
+        self.sim = sim
+        self.lan = lan
+        self.ghost_nodes: list[Node] = []
+
+    def create_ghost_node(self, name: str, queue_capacity: int = 512) -> Node:
+        """Create and attach the ghost node backing one container."""
+        node = Node(self.sim, name=f"ghost-{name}")
+        from repro.sim.node import connect_to_lan
+
+        connect_to_lan(
+            node,
+            self.lan.channel,
+            self.lan.network,
+            self.lan.macs.allocate(),
+            queue_capacity=queue_capacity,
+        )
+        self.lan.nodes.append(node)
+        self.ghost_nodes.append(node)
+        return node
+
+    def disconnect(self, node: Node) -> None:
+        """Detach a ghost node (container churn / network unplug)."""
+        self.lan.remove_host(node)
+        if node in self.ghost_nodes:
+            self.ghost_nodes.remove(node)

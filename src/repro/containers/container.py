@@ -1,0 +1,150 @@
+"""Containers and the processes they host.
+
+A :class:`Container` owns a simulated network node (via a tap bridge), a
+resource accountant, and a set of :class:`Process` instances.  Processes
+are the "IoT binaries" of the paper: event-driven objects that open
+sockets on the container's node and schedule work on the shared
+simulator.  ``container.exec(...)`` injects a process into a running
+container — exactly how the Mirai loader drops a bot onto a compromised
+device.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.containers.image import Image
+from repro.containers.resources import ResourceAccountant, ResourceLimits
+from repro.sim.core import Simulator
+
+if TYPE_CHECKING:
+    from repro.sim.node import Node
+
+
+class ContainerState(enum.Enum):
+    CREATED = "created"
+    RUNNING = "running"
+    STOPPED = "stopped"
+
+
+class ContainerError(RuntimeError):
+    """Raised on lifecycle misuse (starting a started container, etc.)."""
+
+
+class Process:
+    """Base class for everything that runs inside a container.
+
+    Subclasses implement :meth:`on_start` (open sockets, schedule work)
+    and optionally :meth:`on_stop` (cancel timers, close sockets).
+    """
+
+    name = "process"
+
+    def __init__(self) -> None:
+        self.container: "Container | None" = None
+        self.running = False
+
+    # ------------------------------------------------------------------
+    # Conveniences available once attached
+
+    @property
+    def sim(self) -> Simulator:
+        assert self.container is not None, "process not attached to a container"
+        return self.container.sim
+
+    @property
+    def node(self) -> "Node":
+        assert self.container is not None, "process not attached to a container"
+        return self.container.node
+
+    def charge_cpu(self, work_seconds: float) -> float:
+        """Account CPU work against the container; returns wall duration."""
+        assert self.container is not None
+        return self.container.resources.charge_cpu(work_seconds)
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+
+    def start(self, container: "Container") -> None:
+        self.container = container
+        self.running = True
+        self.on_start()
+
+    def stop(self) -> None:
+        if not self.running:
+            return
+        self.running = False
+        self.on_stop()
+
+    def on_start(self) -> None:  # pragma: no cover - overridden
+        """Open sockets and schedule initial events."""
+
+    def on_stop(self) -> None:
+        """Cancel timers and release resources (override when needed)."""
+
+
+class Container:
+    """A running instance of an image, attached to one simulated node."""
+
+    def __init__(
+        self,
+        name: str,
+        image: Image,
+        sim: Simulator,
+        node: "Node",
+        limits: ResourceLimits | None = None,
+    ) -> None:
+        self.name = name
+        self.image = image
+        self.sim = sim
+        self.node = node
+        self.resources = ResourceAccountant(limits or image.default_limits)
+        self.state = ContainerState.CREATED
+        self.processes: list[Process] = []
+        self.started_at: float | None = None
+        self.stopped_at: float | None = None
+
+    def __repr__(self) -> str:
+        return f"Container({self.name!r}, image={self.image.reference!r}, state={self.state.value})"
+
+    def start(self) -> None:
+        """Boot: run every entrypoint process from the image."""
+        if self.state is ContainerState.RUNNING:
+            raise ContainerError(f"{self.name} is already running")
+        self.state = ContainerState.RUNNING
+        self.started_at = self.sim.now
+        for factory in self.image.entrypoints:
+            self.exec(factory(self))
+
+    def exec(self, process: Process) -> Process:
+        """Inject and start an extra process (``docker exec`` analogue)."""
+        if self.state is not ContainerState.RUNNING:
+            raise ContainerError(f"cannot exec in {self.state.value} container {self.name}")
+        self.processes.append(process)
+        process.start(self)
+        return process
+
+    def stop(self) -> None:
+        """Stop all processes; the node stays attached but goes quiet."""
+        if self.state is not ContainerState.RUNNING:
+            raise ContainerError(f"{self.name} is not running")
+        for process in self.processes:
+            process.stop()
+        self.state = ContainerState.STOPPED
+        self.stopped_at = self.sim.now
+
+    @property
+    def uptime(self) -> float:
+        """Virtual seconds this container has been running."""
+        if self.started_at is None:
+            return 0.0
+        end = self.stopped_at if self.stopped_at is not None else self.sim.now
+        return end - self.started_at
+
+    def find_process(self, name: str) -> Process | None:
+        """Look up a hosted process by its class-level ``name``."""
+        for process in self.processes:
+            if process.name == name:
+                return process
+        return None

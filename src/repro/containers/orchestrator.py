@@ -1,0 +1,101 @@
+"""Compose-style orchestration of multi-container scenarios.
+
+The testbed's run scripts bring up the Attacker, N Devs, the TServer and
+the IDS together.  :class:`Orchestrator` plays docker-compose: declare
+:class:`ServiceSpec` entries (image, replicas, limits), call
+:meth:`Orchestrator.up`, and get named running containers each attached
+to the shared LAN through a tap bridge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.containers.bridge import TapBridge
+from repro.containers.container import Container, ContainerState
+from repro.containers.image import Image, Registry
+from repro.containers.resources import ResourceLimits
+from repro.sim.core import Simulator
+from repro.sim.topology import CsmaLan
+
+
+@dataclass
+class ServiceSpec:
+    """One service in the compose file: an image plus deployment settings."""
+
+    name: str
+    image: Image
+    replicas: int = 1
+    limits: ResourceLimits | None = None
+    queue_capacity: int = 512
+
+
+class Orchestrator:
+    """Creates, starts, stops, and looks up containers on one LAN."""
+
+    def __init__(self, sim: Simulator, lan: CsmaLan) -> None:
+        self.sim = sim
+        self.lan = lan
+        self.bridge = TapBridge(sim, lan)
+        self.registry = Registry()
+        self.containers: dict[str, Container] = {}
+        self._services: list[ServiceSpec] = []
+
+    def add_service(self, spec: ServiceSpec) -> None:
+        """Register a service to be instantiated by :meth:`up`."""
+        self._services.append(spec)
+        self.registry.push(spec.image)
+
+    def up(self) -> list[Container]:
+        """Create and start every declared service replica."""
+        started: list[Container] = []
+        for spec in self._services:
+            for replica in range(spec.replicas):
+                name = spec.name if spec.replicas == 1 else f"{spec.name}-{replica}"
+                started.append(self.run(name, spec.image, spec.limits, spec.queue_capacity))
+        return started
+
+    def run(
+        self,
+        name: str,
+        image: Image,
+        limits: ResourceLimits | None = None,
+        queue_capacity: int = 512,
+    ) -> Container:
+        """``docker run``: create a container on a fresh ghost node, start it."""
+        if name in self.containers:
+            raise ValueError(f"container name already in use: {name}")
+        node = self.bridge.create_ghost_node(name, queue_capacity=queue_capacity)
+        container = Container(name, image, self.sim, node, limits=limits)
+        self.containers[name] = container
+        container.start()
+        return container
+
+    def stop(self, name: str) -> None:
+        """Stop one container (keeps it listed, like ``docker stop``)."""
+        self.containers[name].stop()
+
+    def remove(self, name: str) -> None:
+        """Stop (if needed) and remove a container and its ghost node."""
+        container = self.containers.pop(name)
+        if container.state is ContainerState.RUNNING:
+            container.stop()
+        self.bridge.disconnect(container.node)
+
+    def down(self) -> None:
+        """Stop and remove everything (``docker compose down``)."""
+        for name in list(self.containers):
+            self.remove(name)
+
+    def ps(self) -> list[tuple[str, str, str]]:
+        """List (name, image, state) rows, like ``docker ps -a``."""
+        return [
+            (c.name, c.image.reference, c.state.value)
+            for c in self.containers.values()
+        ]
+
+    def get(self, name: str) -> Container:
+        try:
+            return self.containers[name]
+        except KeyError:
+            raise KeyError(f"no such container: {name}") from None

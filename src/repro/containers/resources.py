@@ -1,0 +1,95 @@
+"""cgroup-style resource accounting for containers.
+
+The paper's Table II reports per-container CPU % and occupied RAM for the
+IDS.  Processes report the virtual CPU seconds they consume and the bytes
+they hold; the accountant aggregates per container and can enforce
+limits, slowing down (or OOM-killing) processes the way cgroups do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class ResourceLimitExceeded(RuntimeError):
+    """Raised when a container breaches its memory limit (OOM-kill analogue)."""
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceLimits:
+    """Limits in the style of ``docker run --cpus --memory``.
+
+    ``cpu_share`` scales how long a unit of work takes (1.0 = a full host
+    core; 0.5 = work takes twice as long).  ``memory_bytes`` is a hard cap.
+    """
+
+    cpu_share: float = 1.0
+    memory_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.cpu_share <= 0:
+            raise ValueError(f"cpu_share must be positive, got {self.cpu_share}")
+        if self.memory_bytes is not None and self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive when set")
+
+
+@dataclass
+class ResourceUsage:
+    """A point-in-time resource snapshot for a container."""
+
+    cpu_seconds: float = 0.0
+    memory_bytes: int = 0
+    peak_memory_bytes: int = 0
+
+    @property
+    def memory_kb(self) -> float:
+        return self.memory_bytes / 1000.0
+
+
+class ResourceAccountant:
+    """Tracks a container's CPU time and memory high-water mark."""
+
+    def __init__(self, limits: ResourceLimits | None = None) -> None:
+        self.limits = limits or ResourceLimits()
+        self.usage = ResourceUsage()
+        self._allocations: dict[str, int] = field(default_factory=dict)  # type: ignore[assignment]
+        self._allocations = {}
+
+    def charge_cpu(self, work_seconds: float) -> float:
+        """Record ``work_seconds`` of compute; return the wall time it takes
+        under this container's CPU share (used to schedule completion)."""
+        if work_seconds < 0:
+            raise ValueError("cannot charge negative CPU time")
+        self.usage.cpu_seconds += work_seconds
+        return work_seconds / self.limits.cpu_share
+
+    def allocate(self, tag: str, nbytes: int) -> None:
+        """Account an allocation under ``tag`` (replacing any prior one)."""
+        if nbytes < 0:
+            raise ValueError("cannot allocate negative bytes")
+        previous = self._allocations.get(tag, 0)
+        new_total = self.usage.memory_bytes - previous + nbytes
+        if (
+            self.limits.memory_bytes is not None
+            and new_total > self.limits.memory_bytes
+        ):
+            raise ResourceLimitExceeded(
+                f"allocation {tag!r} of {nbytes}B exceeds limit "
+                f"{self.limits.memory_bytes}B (in use: {self.usage.memory_bytes}B)"
+            )
+        self._allocations[tag] = nbytes
+        self.usage.memory_bytes = new_total
+        self.usage.peak_memory_bytes = max(
+            self.usage.peak_memory_bytes, self.usage.memory_bytes
+        )
+
+    def free(self, tag: str) -> None:
+        """Release the allocation recorded under ``tag``."""
+        nbytes = self._allocations.pop(tag, 0)
+        self.usage.memory_bytes -= nbytes
+
+    def cpu_percent(self, over_seconds: float) -> float:
+        """Average CPU utilisation (%) over a window of virtual time."""
+        if over_seconds <= 0:
+            return 0.0
+        return 100.0 * self.usage.cpu_seconds / (over_seconds * self.limits.cpu_share)

@@ -1,0 +1,34 @@
+"""Feature extraction for intrusion detection (the paper's §IV-A pipeline).
+
+Per-packet *basic* features (:mod:`repro.features.basic`) are aggregated
+with per-window *statistical* features (:mod:`repro.features.statistical`)
+computed over user-configurable time windows
+(:mod:`repro.features.window`) — packet counts, destination-port entropy,
+port-frequency concentration, short-lived connections, repeated
+connection attempts, SYN-without-ACK counts, flow rates, and
+sequence-number variance.  :class:`~repro.features.pipeline.FeatureExtractor`
+combines them into the model-ready matrix where, exactly as in the paper,
+the statistical features are identical for every packet inside a window.
+"""
+
+from repro.features.basic import BASIC_FEATURE_NAMES, basic_features
+from repro.features.pipeline import FeatureExtractor
+from repro.features.statistical import (
+    STATISTICAL_FEATURE_NAMES,
+    WindowStatistics,
+    compute_window_statistics,
+    shannon_entropy,
+)
+from repro.features.window import WindowAggregator, iter_windows
+
+__all__ = [
+    "BASIC_FEATURE_NAMES",
+    "FeatureExtractor",
+    "STATISTICAL_FEATURE_NAMES",
+    "WindowAggregator",
+    "WindowStatistics",
+    "basic_features",
+    "compute_window_statistics",
+    "iter_windows",
+    "shannon_entropy",
+]

@@ -1,0 +1,75 @@
+"""Time-window assignment for streaming and offline feature extraction."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.sim.tracing import PacketRecord
+
+
+def iter_windows(
+    records: Sequence[PacketRecord], window_seconds: float = 1.0
+) -> Iterator[tuple[int, list[PacketRecord]]]:
+    """Group chronologically-ordered records into fixed windows.
+
+    Yields ``(window_index, records)`` for every *non-empty* window, where
+    ``window_index = floor(timestamp / window_seconds)``.
+    """
+    if window_seconds <= 0:
+        raise ValueError(f"window_seconds must be positive, got {window_seconds}")
+    current_index: int | None = None
+    bucket: list[PacketRecord] = []
+    for record in records:
+        index = int(record.timestamp // window_seconds)
+        if current_index is None:
+            current_index = index
+        if index != current_index:
+            yield current_index, bucket
+            bucket = []
+            current_index = index
+        bucket.append(record)
+    if bucket and current_index is not None:
+        yield current_index, bucket
+
+
+class WindowAggregator:
+    """Streaming window assembler for the real-time IDS.
+
+    Feed records with :meth:`add`; whenever a record crosses into a new
+    window, the completed window is handed to ``on_window(index, records)``.
+    Call :meth:`flush` at end of capture to emit the final partial window.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float,
+        on_window: Callable[[int, list[PacketRecord]], None],
+    ) -> None:
+        if window_seconds <= 0:
+            raise ValueError(f"window_seconds must be positive, got {window_seconds}")
+        self.window_seconds = window_seconds
+        self.on_window = on_window
+        self._current_index: int | None = None
+        self._bucket: list[PacketRecord] = []
+        self.windows_emitted = 0
+
+    def add(self, record: PacketRecord) -> None:
+        index = int(record.timestamp // self.window_seconds)
+        if self._current_index is None:
+            self._current_index = index
+        if index != self._current_index:
+            self._emit()
+            self._current_index = index
+        self._bucket.append(record)
+
+    def flush(self) -> None:
+        """Emit any buffered partial window."""
+        if self._bucket:
+            self._emit()
+            self._current_index = None
+
+    def _emit(self) -> None:
+        bucket, self._bucket = self._bucket, []
+        self.windows_emitted += 1
+        assert self._current_index is not None
+        self.on_window(self._current_index, bucket)

@@ -1,0 +1,28 @@
+"""The real-time IDS unit (Figure 2 of the paper).
+
+Three stages, mirroring the paper's IDS component: real-time traffic
+monitoring (:mod:`repro.ids.monitor` subscribes to the capture tap),
+preprocessing (window aggregation + feature extraction + scaling), and
+attack identification (the ML model).  :mod:`repro.ids.meter` measures
+the CPU, memory, and model-size sustainability metrics of Table II, and
+:mod:`repro.ids.report` holds the result dataclasses.
+"""
+
+from repro.ids.defense import BlocklistFilter, MitigatingIds, TokenBucket
+from repro.ids.engine import RealTimeIds
+from repro.ids.meter import IOT_CPU_SCALE, ResourceMeter, SustainabilityMetrics
+from repro.ids.monitor import TrafficMonitor
+from repro.ids.report import DetectionReport, WindowResult
+
+__all__ = [
+    "BlocklistFilter",
+    "DetectionReport",
+    "IOT_CPU_SCALE",
+    "MitigatingIds",
+    "RealTimeIds",
+    "ResourceMeter",
+    "SustainabilityMetrics",
+    "TokenBucket",
+    "TrafficMonitor",
+    "WindowResult",
+]

@@ -1,0 +1,188 @@
+"""Mitigation: IDS-driven traffic filtering at the victim.
+
+DDoSim positions its results "for evaluating the effectiveness of
+defense mechanisms, ranging from intrusion detection systems to traffic
+filtering and mitigation techniques"; this module closes that loop.  A
+:class:`BlocklistFilter` sits on the victim's net device: when the
+real-time IDS flags a window, the filter extracts the offending sources
+(and, for spoofed floods, rate signatures) and drops matching inbound
+frames before they reach the victim's stack, restoring goodput.
+
+Two mitigation strategies are provided:
+
+* **source blocklisting** — block src IPs whose packets the IDS flagged
+  (works for ACK/UDP floods from real bot addresses);
+* **destination-port rate limiting** — a token bucket per destination
+  port (catches spoofed SYN floods that rotate source addresses).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.sim.packet import Packet
+from repro.sim.tracing import PacketRecord
+
+if TYPE_CHECKING:
+    from repro.ids.engine import RealTimeIds
+    from repro.sim.node import Node
+
+
+@dataclass
+class TokenBucket:
+    """Per-key rate limiter: ``rate`` tokens/s, burst up to ``burst``."""
+
+    rate: float
+    burst: float
+    tokens: float = 0.0
+    last_time: float = 0.0
+
+    def allow(self, now: float, cost: float = 1.0) -> bool:
+        self.tokens = min(self.burst, self.tokens + (now - self.last_time) * self.rate)
+        self.last_time = now
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+
+class BlocklistFilter:
+    """Inline packet filter for a victim node, driven by IDS verdicts.
+
+    Install with :meth:`install`; feed IDS window verdicts with
+    :meth:`apply_window_verdict`.  Blocked sources expire after
+    ``block_seconds`` so false positives do not mute devices forever.
+    """
+
+    def __init__(
+        self,
+        node: "Node",
+        block_seconds: float = 30.0,
+        syn_rate_limit: float = 200.0,
+        syn_burst: float = 400.0,
+    ) -> None:
+        self.node = node
+        self.block_seconds = block_seconds
+        self.syn_rate_limit = syn_rate_limit
+        self.syn_burst = syn_burst
+        self.blocked_until: dict[int, float] = {}
+        self.dropped_by_blocklist = 0
+        self.dropped_by_rate_limit = 0
+        self.passed = 0
+        self._buckets: dict[int, TokenBucket] = defaultdict(
+            lambda: TokenBucket(self.syn_rate_limit, self.syn_burst)
+        )
+        self._original_receive = None
+
+    # ------------------------------------------------------------------
+    # Installation
+
+    def install(self) -> "BlocklistFilter":
+        """Interpose on the node's inbound path."""
+        if self._original_receive is not None:
+            return self
+        self._original_receive = self.node.receive
+        node = self.node
+
+        def filtered_receive(frame: Packet, device) -> None:
+            if self._should_drop(frame):
+                return
+            self.passed += 1
+            assert self._original_receive is not None
+            self._original_receive(frame, device)
+
+        node.receive = filtered_receive  # type: ignore[method-assign]
+        return self
+
+    def uninstall(self) -> None:
+        if self._original_receive is not None:
+            # Remove the instance override so the class method shows again.
+            self.node.__dict__.pop("receive", None)
+            self._original_receive = None
+
+    # ------------------------------------------------------------------
+    # Filtering
+
+    def _should_drop(self, frame: Packet) -> bool:
+        if frame.ip is None:
+            return False
+        now = self.node.sim.now
+        until = self.blocked_until.get(frame.ip.src.value)
+        if until is not None:
+            if now < until:
+                self.dropped_by_blocklist += 1
+                return True
+            del self.blocked_until[frame.ip.src.value]
+        # SYN-specific rate limiting (spoofed sources rotate, so the
+        # bucket keys on the targeted service port instead).
+        if frame.tcp is not None and (frame.tcp.flags & 0x02) and not (frame.tcp.flags & 0x10):
+            bucket = self._buckets[frame.tcp.dst_port]
+            if not bucket.allow(now):
+                self.dropped_by_rate_limit += 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # IDS feedback
+
+    def apply_window_verdict(
+        self,
+        records: list[PacketRecord],
+        predictions: np.ndarray,
+        min_flagged: int = 10,
+    ) -> int:
+        """Blocklist sources that dominate a flagged window.
+
+        Returns the number of sources newly blocked.  Sources are only
+        blocked when they account for several flagged packets, keeping
+        single misclassifications from blocking a benign device.
+        """
+        if len(records) != len(predictions):
+            raise ValueError("records and predictions misaligned")
+        flagged: dict[int, int] = defaultdict(int)
+        for record, prediction in zip(records, predictions):
+            if prediction == 1:
+                flagged[record.src_ip] += 1
+        newly_blocked = 0
+        expiry = self.node.sim.now + self.block_seconds
+        for src, count in flagged.items():
+            if count >= min_flagged and src != self.node.address.value:
+                if src not in self.blocked_until:
+                    newly_blocked += 1
+                self.blocked_until[src] = expiry
+        return newly_blocked
+
+    @property
+    def active_blocks(self) -> int:
+        now = self.node.sim.now
+        return sum(1 for until in self.blocked_until.values() if until > now)
+
+
+class MitigatingIds:
+    """Couples a :class:`~repro.ids.engine.RealTimeIds` to a filter.
+
+    Every completed window's predictions are forwarded to the victim's
+    blocklist filter, closing the detect→mitigate loop in real time.
+    """
+
+    def __init__(self, ids: "RealTimeIds", filter_: BlocklistFilter) -> None:
+        self.ids = ids
+        self.filter = filter_
+        self.blocks_issued = 0
+        original = ids._on_window
+
+        def hooked(index: int, records: list[PacketRecord]) -> None:
+            original(index, records)
+            window = ids.report.windows[-1]
+            if window.n_malicious_predicted > 0:
+                X = ids.extractor.transform_window(records)
+                predictions = np.asarray(ids.model.predict(ids.scaler.transform(X)))
+                self.blocks_issued += self.filter.apply_window_verdict(
+                    records, predictions
+                )
+
+        ids._on_window = hooked  # type: ignore[method-assign]

@@ -1,0 +1,37 @@
+"""Stage 1 of the IDS: real-time traffic monitoring.
+
+A :class:`TrafficMonitor` subscribes to the capture tap (a
+:class:`~repro.sim.tracing.PacketProbe` on the LAN) and forwards records
+into the IDS's window aggregator.  It can also replay a recorded capture
+— useful for evaluating several models against the *same* live stream,
+which is how the benchmark harness compares RF / K-Means / CNN fairly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.sim.tracing import PacketProbe, PacketRecord
+
+
+class TrafficMonitor:
+    """Feeds live or recorded packet streams into a sink."""
+
+    def __init__(self, sink: Callable[[PacketRecord], None]) -> None:
+        self.sink = sink
+        self.packets_seen = 0
+        self._attached_probe: PacketProbe | None = None
+
+    def attach(self, probe: PacketProbe) -> None:
+        """Subscribe to a live capture tap."""
+        probe.subscribe(self._on_record)
+        self._attached_probe = probe
+
+    def replay(self, records: Iterable[PacketRecord]) -> None:
+        """Stream a recorded capture through the sink in order."""
+        for record in records:
+            self._on_record(record)
+
+    def _on_record(self, record: PacketRecord) -> None:
+        self.packets_seen += 1
+        self.sink(record)

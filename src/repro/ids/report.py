@@ -1,0 +1,93 @@
+"""Result dataclasses for real-time detection runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ids.meter import SustainabilityMetrics
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """One time window's detection outcome."""
+
+    window_index: int
+    start_time: float
+    n_packets: int
+    n_malicious_true: int
+    n_malicious_predicted: int
+    accuracy: float
+
+    @property
+    def is_pure_benign(self) -> bool:
+        return self.n_malicious_true == 0
+
+    @property
+    def is_pure_malicious(self) -> bool:
+        return self.n_malicious_true == self.n_packets
+
+
+@dataclass
+class DetectionReport:
+    """A full real-time detection run for one model (Table I row + extras)."""
+
+    model_name: str
+    windows: list[WindowResult] = field(default_factory=list)
+    sustainability: SustainabilityMetrics | None = None
+
+    @property
+    def mean_accuracy(self) -> float:
+        """The paper's headline metric: mean of per-window accuracies."""
+        if not self.windows:
+            return 0.0
+        return sum(w.accuracy for w in self.windows) / len(self.windows)
+
+    @property
+    def min_accuracy(self) -> float:
+        """Worst single window (the paper reports a 35% minimum)."""
+        if not self.windows:
+            return 0.0
+        return min(w.accuracy for w in self.windows)
+
+    @property
+    def packet_accuracy(self) -> float:
+        """Packet-weighted accuracy over the whole run."""
+        total = sum(w.n_packets for w in self.windows)
+        if total == 0:
+            return 0.0
+        correct = sum(w.accuracy * w.n_packets for w in self.windows)
+        return correct / total
+
+    @property
+    def n_windows(self) -> int:
+        return len(self.windows)
+
+    def accuracy_series(self) -> list[tuple[float, float]]:
+        """(window start time, accuracy) pairs — the per-second trace."""
+        return [(w.start_time, w.accuracy) for w in self.windows]
+
+    def boundary_windows(self) -> list[WindowResult]:
+        """Windows adjacent to a traffic-regime flip (attack edges).
+
+        Includes both the last window of the outgoing regime and the
+        first window of the incoming one — the paper's "first and the
+        last second of an attack duration" where accuracy dips.
+        """
+        edges: list[WindowResult] = []
+        previous: WindowResult | None = None
+        for window in self.windows:
+            if previous is not None and window.is_pure_benign != previous.is_pure_benign:
+                if not edges or edges[-1] is not previous:
+                    edges.append(previous)
+                edges.append(window)
+            previous = window
+        return edges
+
+    def __str__(self) -> str:
+        line = (
+            f"{self.model_name}: mean accuracy {100 * self.mean_accuracy:.2f}% "
+            f"over {self.n_windows} windows (min {100 * self.min_accuracy:.1f}%)"
+        )
+        if self.sustainability is not None:
+            line += f"; {self.sustainability}"
+        return line

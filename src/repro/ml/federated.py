@@ -1,0 +1,107 @@
+"""Federated learning emulation (paper §VI future work).
+
+FedAvg over weight-exposing models: each simulated device trains on its
+local traffic shard, a coordinator averages the weights (optionally
+weighted by shard size), and the global model is pushed back.  Works with
+any model exposing ``get_weights()``/``set_weights()`` and ``fit`` —
+in this repo the CNN's :class:`~repro.ml.cnn.Sequential` and
+:class:`~repro.ml.svm.LinearSVM`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
+
+
+class WeightedModel(Protocol):
+    """A model FedAvg can aggregate."""
+
+    def get_weights(self) -> list[np.ndarray]: ...
+
+    def set_weights(self, weights: list[np.ndarray]) -> None: ...
+
+
+def fedavg(
+    weight_sets: Sequence[list[np.ndarray]],
+    sample_counts: Sequence[int] | None = None,
+) -> list[np.ndarray]:
+    """Weighted average of aligned weight lists."""
+    if not weight_sets:
+        raise ValueError("need at least one client's weights")
+    n_clients = len(weight_sets)
+    if sample_counts is None:
+        coefficients = np.full(n_clients, 1.0 / n_clients)
+    else:
+        if len(sample_counts) != n_clients:
+            raise ValueError("sample_counts misaligned with weight_sets")
+        total = float(sum(sample_counts))
+        if total <= 0:
+            raise ValueError("sample_counts must sum to a positive value")
+        coefficients = np.array(sample_counts, dtype=float) / total
+    averaged = []
+    for arrays in zip(*weight_sets):
+        stacked = np.stack(arrays)
+        averaged.append(
+            np.tensordot(coefficients, stacked, axes=(0, 0))
+        )
+    return averaged
+
+
+@dataclass
+class FederatedClient:
+    """One device's local trainer."""
+
+    name: str
+    model: WeightedModel
+    X: np.ndarray
+    y: np.ndarray
+    train_fn: Callable[[WeightedModel, np.ndarray, np.ndarray], None]
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.X)
+
+    def local_round(self, global_weights: list[np.ndarray]) -> list[np.ndarray]:
+        """Sync to the global weights, train locally, return new weights."""
+        self.model.set_weights(global_weights)
+        self.train_fn(self.model, self.X, self.y)
+        return self.model.get_weights()
+
+
+@dataclass
+class FederatedCoordinator:
+    """Runs FedAvg rounds across clients."""
+
+    clients: list[FederatedClient]
+    global_weights: list[np.ndarray]
+    weight_by_samples: bool = True
+    rounds_completed: int = 0
+    round_history: list[float] = field(default_factory=list)
+
+    def run_round(self) -> None:
+        """One synchronous FedAvg round over every client."""
+        updates = [c.local_round(self.global_weights) for c in self.clients]
+        counts = [c.n_samples for c in self.clients] if self.weight_by_samples else None
+        self.global_weights = fedavg(updates, counts)
+        self.rounds_completed += 1
+
+    def run(self, rounds: int, evaluate: Callable[[list[np.ndarray]], float] | None = None) -> None:
+        """Run several rounds, optionally recording a metric per round."""
+        for _ in range(rounds):
+            self.run_round()
+            if evaluate is not None:
+                self.round_history.append(evaluate(self.global_weights))
+
+
+def shard_by_client(
+    X: np.ndarray, y: np.ndarray, client_ids: np.ndarray
+) -> dict[object, tuple[np.ndarray, np.ndarray]]:
+    """Split (X, y) into per-client shards by an id column (e.g. src_ip)."""
+    shards: dict[object, tuple[np.ndarray, np.ndarray]] = {}
+    for client in np.unique(client_ids):
+        mask = client_ids == client
+        shards[client] = (X[mask], y[mask])
+    return shards

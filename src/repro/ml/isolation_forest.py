@@ -1,0 +1,151 @@
+"""Isolation Forest anomaly detector (paper §V future work).
+
+Standard iForest: random axis-aligned splits isolate anomalies in short
+paths.  The anomaly score follows Liu et al.'s ``2^(-E[h]/c(n))``
+normalisation.  As a detector it can run fully unsupervised (threshold
+from ``contamination``) or calibrate its threshold from labelled data.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ml.preprocessing import NotFittedError
+
+
+def _average_path_length(n: int) -> float:
+    """c(n): average unsuccessful-search path length in a BST of n nodes."""
+    if n <= 1:
+        return 0.0
+    if n == 2:
+        return 1.0
+    harmonic = math.log(n - 1) + 0.5772156649
+    return 2.0 * harmonic - 2.0 * (n - 1) / n
+
+
+class _IsolationTree:
+    """One random isolation tree stored as parallel arrays."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "size")
+
+    def __init__(self) -> None:
+        self.feature: list[int] = []
+        self.threshold: list[float] = []
+        self.left: list[int] = []
+        self.right: list[int] = []
+        self.size: list[int] = []
+
+    def build(self, X: np.ndarray, rng: np.random.Generator, max_depth: int) -> int:
+        node = len(self.feature)
+        self.feature.append(-1)
+        self.threshold.append(0.0)
+        self.left.append(-1)
+        self.right.append(-1)
+        self.size.append(len(X))
+        if len(X) <= 1 or max_depth <= 0:
+            return node
+        spans = X.max(axis=0) - X.min(axis=0)
+        candidates = np.flatnonzero(spans > 0)
+        if candidates.size == 0:
+            return node
+        feature = int(rng.choice(candidates))
+        low, high = X[:, feature].min(), X[:, feature].max()
+        threshold = float(rng.uniform(low, high))
+        mask = X[:, feature] < threshold
+        if not mask.any() or mask.all():
+            return node
+        self.feature[node] = feature
+        self.threshold[node] = threshold
+        self.left[node] = self.build(X[mask], rng, max_depth - 1)
+        self.right[node] = self.build(X[~mask], rng, max_depth - 1)
+        return node
+
+    def path_length(self, x: np.ndarray) -> float:
+        node = 0
+        depth = 0.0
+        while self.feature[node] >= 0:
+            node = (
+                self.left[node]
+                if x[self.feature[node]] < self.threshold[node]
+                else self.right[node]
+            )
+            depth += 1.0
+        return depth + _average_path_length(self.size[node])
+
+
+class IsolationForestDetector:
+    """iForest with optional supervised threshold calibration."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_samples: int = 256,
+        contamination: float = 0.5,
+        random_state: int = 0,
+    ) -> None:
+        if not 0.0 < contamination < 1.0:
+            raise ValueError(f"contamination must be in (0, 1), got {contamination}")
+        self.n_estimators = n_estimators
+        self.max_samples = max_samples
+        self.contamination = contamination
+        self.random_state = random_state
+        self.trees_: list[_IsolationTree] = []
+        self.sample_size_: int = 0
+        self.threshold_: float = 0.5
+
+    def fit(self, X: np.ndarray, y: np.ndarray | None = None) -> "IsolationForestDetector":
+        """Fit the forest; with labels, profile benign traffic only.
+
+        When ``y`` is given the trees are built from the *benign* rows
+        (the IDS usage: model normal traffic, attacks of any volume then
+        isolate quickly) and the threshold is chosen to best separate the
+        labelled classes.  Unlabelled fits follow classic iForest with a
+        ``contamination`` quantile threshold.
+        """
+        X = np.asarray(X, dtype=float)
+        if y is not None:
+            y = np.asarray(y, dtype=int)
+            fit_pool = X[y == 0] if (y == 0).sum() >= 8 else X
+        else:
+            fit_pool = X
+        rng = np.random.default_rng(self.random_state)
+        self.sample_size_ = min(self.max_samples, len(fit_pool))
+        max_depth = int(np.ceil(np.log2(max(self.sample_size_, 2))))
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            idx = rng.choice(len(fit_pool), size=self.sample_size_, replace=False)
+            tree = _IsolationTree()
+            tree.build(fit_pool[idx], rng, max_depth)
+            self.trees_.append(tree)
+        scores = self.score_samples(X)
+        if y is not None:
+            # Supervised calibration: pick the threshold separating the
+            # labelled classes best (scan candidate quantiles).
+            best_acc, best_thr = 0.0, 0.5
+            for q in np.linspace(0.02, 0.98, 49):
+                thr = float(np.quantile(scores, q))
+                acc = float(np.mean((scores >= thr).astype(int) == y))
+                if acc > best_acc:
+                    best_acc, best_thr = acc, thr
+            self.threshold_ = best_thr
+        else:
+            self.threshold_ = float(np.quantile(scores, 1.0 - self.contamination))
+        return self
+
+    def score_samples(self, X: np.ndarray) -> np.ndarray:
+        """Anomaly scores in (0, 1); higher = more anomalous."""
+        if not self.trees_:
+            raise NotFittedError("IsolationForestDetector.score_samples before fit")
+        X = np.asarray(X, dtype=float)
+        c = _average_path_length(self.sample_size_)
+        depths = np.zeros(len(X))
+        for tree in self.trees_:
+            depths += np.array([tree.path_length(x) for x in X])
+        depths /= len(self.trees_)
+        return np.power(2.0, -depths / max(c, 1e-9))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """1 = anomalous (malicious), 0 = normal."""
+        return (self.score_samples(X) >= self.threshold_).astype(int)

@@ -1,0 +1,304 @@
+"""K-Means clustering, including the unsupervised variant the paper cites.
+
+Three layers:
+
+* :class:`KMeans` — classic Lloyd iteration with k-means++ seeding;
+* :class:`UnsupervisedKMeans` — the entropy-penalised U-k-means of
+  Sinaga & Yang (2020), the paper's §IV-B reference: it starts from many
+  candidate clusters, penalises each cluster's mixing proportion through
+  an entropy term, and discards starved clusters, so the number of
+  clusters is learned rather than given;
+* :class:`KMeansDetector` — the IDS adapter: clusters the training
+  features, labels each cluster by its majority ground-truth class, and
+  classifies new packets by nearest centroid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.preprocessing import NotFittedError
+
+
+def _pairwise_sq_dists(X: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances, (n_samples, n_centers)."""
+    x_sq = np.sum(X**2, axis=1)[:, None]
+    c_sq = np.sum(centers**2, axis=1)[None, :]
+    return np.maximum(x_sq + c_sq - 2.0 * X @ centers.T, 0.0)
+
+
+def _nearest_center(X: np.ndarray, centers: np.ndarray, chunk: int = 256) -> np.ndarray:
+    """argmin over centers, computed in row chunks to bound the working set
+    (the IDS meters per-window peak memory, Table II)."""
+    out = np.empty(len(X), dtype=int)
+    for start in range(0, len(X), chunk):
+        block = X[start : start + chunk]
+        out[start : start + chunk] = np.argmin(_pairwise_sq_dists(block, centers), axis=1)
+    return out
+
+
+def _kmeans_pp_init(X: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centers by D² sampling."""
+    n = len(X)
+    centers = np.empty((k, X.shape[1]))
+    centers[0] = X[rng.integers(n)]
+    closest = _pairwise_sq_dists(X, centers[:1]).ravel()
+    for i in range(1, k):
+        total = closest.sum()
+        if total <= 0:
+            centers[i:] = X[rng.integers(n, size=k - i)]
+            break
+        probabilities = closest / total
+        centers[i] = X[rng.choice(n, p=probabilities)]
+        closest = np.minimum(closest, _pairwise_sq_dists(X, centers[i : i + 1]).ravel())
+    return centers
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialisation."""
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        random_state: int = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.random_state = random_state
+        self.cluster_centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float = np.inf
+        self.n_iter_: int = 0
+
+    def fit(self, X: np.ndarray) -> "KMeans":
+        X = np.asarray(X, dtype=float)
+        if len(X) < self.n_clusters:
+            raise ValueError(
+                f"n_samples={len(X)} < n_clusters={self.n_clusters}"
+            )
+        rng = np.random.default_rng(self.random_state)
+        centers = _kmeans_pp_init(X, self.n_clusters, rng)
+        for iteration in range(self.max_iter):
+            dists = _pairwise_sq_dists(X, centers)
+            labels = np.argmin(dists, axis=1)
+            new_centers = centers.copy()
+            for cluster in range(self.n_clusters):
+                members = X[labels == cluster]
+                if len(members):
+                    new_centers[cluster] = members.mean(axis=0)
+            shift = float(np.max(np.abs(new_centers - centers)))
+            centers = new_centers
+            self.n_iter_ = iteration + 1
+            if shift < self.tol:
+                break
+        dists = _pairwise_sq_dists(X, centers)
+        self.labels_ = np.argmin(dists, axis=1)
+        self.inertia_ = float(dists[np.arange(len(X)), self.labels_].sum())
+        self.cluster_centers_ = centers
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Nearest-centroid cluster index per row."""
+        if self.cluster_centers_ is None:
+            raise NotFittedError("KMeans.predict before fit")
+        X = np.asarray(X, dtype=float)
+        return _nearest_center(X, self.cluster_centers_)
+
+    def __getstate__(self) -> dict:
+        # Per-sample training assignments are a fit artefact; dropping
+        # them keeps saved models at centroid size (Table II).
+        state = dict(self.__dict__)
+        state["labels_"] = None
+        return state
+
+
+class UnsupervisedKMeans:
+    """U-k-means (Sinaga & Yang 2020): learns the number of clusters.
+
+    Each iteration assigns points to the cluster minimising
+    ``||x - a_k||^2 - gamma * ln(alpha_k)`` where ``alpha_k`` are mixing
+    proportions updated from the assignments; the entropy penalty starves
+    clusters that explain little data, and clusters whose proportion
+    drops below ``1/n`` are discarded.  ``gamma`` decays each iteration so
+    the procedure converges to plain k-means on the surviving clusters.
+    """
+
+    def __init__(
+        self,
+        max_clusters: int = 20,
+        max_iter: int = 60,
+        gamma_decay: float = 0.9,
+        gamma_scale: float = 0.5,
+        tol: float = 1e-6,
+        random_state: int = 0,
+    ) -> None:
+        if max_clusters < 2:
+            raise ValueError(f"max_clusters must be >= 2, got {max_clusters}")
+        if gamma_scale < 0:
+            raise ValueError(f"gamma_scale must be >= 0, got {gamma_scale}")
+        self.max_clusters = max_clusters
+        self.max_iter = max_iter
+        self.gamma_decay = gamma_decay
+        self.gamma_scale = gamma_scale
+        self.tol = tol
+        self.random_state = random_state
+        self.cluster_centers_: np.ndarray | None = None
+        self.mixing_proportions_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.n_clusters_: int = 0
+        self.n_iter_: int = 0
+
+    def _entropy_rate(self, iteration: int) -> float:
+        """Strength of the mixing-proportion entropy push (decays)."""
+        return self.gamma_decay**iteration
+
+    def fit(self, X: np.ndarray) -> "UnsupervisedKMeans":
+        X = np.asarray(X, dtype=float)
+        n = len(X)
+        k = min(self.max_clusters, n)
+        rng = np.random.default_rng(self.random_state)
+        centers = _kmeans_pp_init(X, k, rng)
+        alpha = np.full(k, 1.0 / k)
+        # gamma is set from the scale of actual point-to-centre squared
+        # distances so the -gamma*ln(alpha) penalty competes with them:
+        # large clusters then absorb points whose distance margin is
+        # smaller than the penalty gap (the paper's rich-get-richer
+        # mechanism that starves spurious clusters).
+        d2 = _pairwise_sq_dists(X, centers)
+        gamma = self.gamma_scale * float(np.mean(d2.min(axis=1))) + 1e-12
+        labels = np.zeros(n, dtype=int)
+        for iteration in range(self.max_iter):
+            penalty = -gamma * np.log(np.maximum(alpha, 1e-12))
+            cost = _pairwise_sq_dists(X, centers) + penalty[None, :]
+            new_labels = np.argmin(cost, axis=1)
+            counts = np.bincount(new_labels, minlength=len(centers)).astype(float)
+            proportions = counts / n
+            # Entropy-penalised mixing update (Sinaga & Yang eq. 20):
+            # clusters whose ln(alpha) falls below the mixture's mean
+            # log-proportion are pushed further down and eventually
+            # drop below the 1/n discard line.
+            safe = np.maximum(proportions, 1e-12)
+            mean_log = float(np.sum(safe * np.log(safe)))
+            alpha = proportions + self._entropy_rate(iteration) * safe * (
+                np.log(safe) - mean_log
+            )
+            alpha = np.maximum(alpha, 0.0)
+            keep = alpha >= (1.0 / n)
+            if keep.sum() < 1:
+                keep = counts == counts.max()
+            if not keep.all():
+                centers = centers[keep]
+                alpha = alpha[keep]
+                total = alpha.sum()
+                alpha = alpha / total if total > 0 else np.full(len(centers), 1.0 / len(centers))
+                cost = _pairwise_sq_dists(X, centers) - gamma * np.log(
+                    np.maximum(alpha, 1e-12)
+                )[None, :]
+                new_labels = np.argmin(cost, axis=1)
+            new_centers = centers.copy()
+            for cluster in range(len(centers)):
+                members = X[new_labels == cluster]
+                if len(members):
+                    new_centers[cluster] = members.mean(axis=0)
+            shift = float(np.max(np.abs(new_centers - centers))) if len(centers) else 0.0
+            stable = np.array_equal(new_labels, labels) and shift < self.tol
+            centers = new_centers
+            labels = new_labels
+            gamma *= self.gamma_decay
+            self.n_iter_ = iteration + 1
+            if stable and iteration > 0:
+                break
+        self.cluster_centers_ = centers
+        self.mixing_proportions_ = np.bincount(
+            labels, minlength=len(centers)
+        ).astype(float) / n
+        self.labels_ = labels
+        self.n_clusters_ = len(centers)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Nearest-centroid cluster index per row."""
+        if self.cluster_centers_ is None:
+            raise NotFittedError("UnsupervisedKMeans.predict before fit")
+        X = np.asarray(X, dtype=float)
+        return _nearest_center(X, self.cluster_centers_)
+
+    def __getstate__(self) -> dict:
+        # See KMeans.__getstate__: keep saved models centroid-sized.
+        state = dict(self.__dict__)
+        state["labels_"] = None
+        return state
+
+
+class KMeansDetector:
+    """Clusters traffic features, then labels clusters by majority class.
+
+    This is the paper's K-Means IDS: unsupervised structure discovery
+    with a thin supervised mapping from cluster to benign/malicious.
+    With ``auto_k=True`` (default) it uses :class:`UnsupervisedKMeans`;
+    otherwise plain :class:`KMeans` with ``n_clusters``.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        auto_k: bool = True,
+        max_clusters: int = 20,
+        gamma_scale: float = 0.5,
+        random_state: int = 0,
+    ) -> None:
+        self.n_clusters = n_clusters
+        self.auto_k = auto_k
+        self.max_clusters = max_clusters
+        self.gamma_scale = gamma_scale
+        self.random_state = random_state
+        self.clusterer_: KMeans | UnsupervisedKMeans | None = None
+        self.cluster_labels_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KMeansDetector":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if self.auto_k:
+            self.clusterer_ = UnsupervisedKMeans(
+                max_clusters=self.max_clusters,
+                gamma_scale=self.gamma_scale,
+                random_state=self.random_state,
+            )
+        else:
+            self.clusterer_ = KMeans(
+                n_clusters=self.n_clusters, random_state=self.random_state
+            )
+        self.clusterer_.fit(X)
+        assignments = self.clusterer_.labels_
+        assert assignments is not None
+        n_found = (
+            self.clusterer_.n_clusters_
+            if isinstance(self.clusterer_, UnsupervisedKMeans)
+            else self.n_clusters
+        )
+        labels = np.zeros(n_found, dtype=int)
+        overall_majority = int(np.bincount(y).argmax())
+        for cluster in range(n_found):
+            members = y[assignments == cluster]
+            labels[cluster] = (
+                int(np.bincount(members).argmax()) if len(members) else overall_majority
+            )
+        self.cluster_labels_ = labels
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Benign/malicious label via nearest labelled centroid."""
+        if self.clusterer_ is None or self.cluster_labels_ is None:
+            raise NotFittedError("KMeansDetector.predict before fit")
+        return self.cluster_labels_[self.clusterer_.predict(X)]
+
+    @property
+    def n_clusters_(self) -> int:
+        if self.cluster_labels_ is None:
+            raise NotFittedError("detector not fitted")
+        return len(self.cluster_labels_)

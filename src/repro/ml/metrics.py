@@ -1,0 +1,97 @@
+"""Classification metrics: accuracy, precision, recall, F1, confusion matrix.
+
+The paper evaluates training with all four metrics and real-time
+detection with accuracy only (because pure-benign or pure-malicious
+windows make precision/recall divide by zero — see §IV-D); the
+``zero_division`` argument mirrors that concern explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _validate(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of correct predictions."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, n_classes: int = 2) -> np.ndarray:
+    """``M[i, j]`` = count of true class ``i`` predicted as class ``j``."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    matrix = np.zeros((n_classes, n_classes), dtype=int)
+    for true, pred in zip(y_true.astype(int), y_pred.astype(int)):
+        matrix[true, pred] += 1
+    return matrix
+
+
+def precision_score(y_true, y_pred, positive: int = 1, zero_division: float = 0.0) -> float:
+    """TP / (TP + FP); ``zero_division`` when nothing was predicted positive."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    predicted_positive = y_pred == positive
+    if not predicted_positive.any():
+        return zero_division
+    return float(np.mean(y_true[predicted_positive] == positive))
+
+
+def recall_score(y_true, y_pred, positive: int = 1, zero_division: float = 0.0) -> float:
+    """TP / (TP + FN); ``zero_division`` when no true positives exist."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    actual_positive = y_true == positive
+    if not actual_positive.any():
+        return zero_division
+    return float(np.mean(y_pred[actual_positive] == positive))
+
+
+def f1_score(y_true, y_pred, positive: int = 1, zero_division: float = 0.0) -> float:
+    """Harmonic mean of precision and recall."""
+    precision = precision_score(y_true, y_pred, positive, zero_division)
+    recall = recall_score(y_true, y_pred, positive, zero_division)
+    if precision + recall == 0:
+        return zero_division
+    return 2 * precision * recall / (precision + recall)
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """The four training-phase metrics plus the confusion matrix."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+    confusion: np.ndarray
+
+    def __str__(self) -> str:
+        tn, fp, fn, tp = self.confusion.ravel()
+        return (
+            f"accuracy={self.accuracy:.4f} precision={self.precision:.4f} "
+            f"recall={self.recall:.4f} f1={self.f1:.4f} "
+            f"(tp={tp} tn={tn} fp={fp} fn={fn})"
+        )
+
+
+def evaluate_classifier(y_true, y_pred) -> ClassificationReport:
+    """Compute the full training-phase report for binary labels."""
+    return ClassificationReport(
+        accuracy=accuracy_score(y_true, y_pred),
+        precision=precision_score(y_true, y_pred),
+        recall=recall_score(y_true, y_pred),
+        f1=f1_score(y_true, y_pred),
+        confusion=confusion_matrix(y_true, y_pred),
+    )

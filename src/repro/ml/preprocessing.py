@@ -1,0 +1,107 @@
+"""Feature scaling and dataset splitting utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class NotFittedError(RuntimeError):
+    """Raised when transform/predict is called before fit."""
+
+
+class StandardScaler:
+    """Zero-mean unit-variance scaling; constant columns pass through."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"expected 2-D matrix, got shape {X.shape}")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0.0] = 1.0  # constant features stay constant, not NaN
+        self.scale_ = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler.transform before fit")
+        return (np.asarray(X, dtype=float) - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler.inverse_transform before fit")
+        return np.asarray(X, dtype=float) * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale features to [0, 1]; constant columns map to 0."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"expected 2-D matrix, got shape {X.shape}")
+        self.min_ = X.min(axis=0)
+        span = X.max(axis=0) - self.min_
+        span[span == 0.0] = 1.0
+        self.range_ = span
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise NotFittedError("MinMaxScaler.transform before fit")
+        return (np.asarray(X, dtype=float) - self.min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.3,
+    seed: int = 0,
+    stratify: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle-split into train/test, optionally preserving class balance."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if len(X) != len(y):
+        raise ValueError(f"X and y disagree on length: {len(X)} vs {len(y)}")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    if stratify:
+        train_idx: list[int] = []
+        test_idx: list[int] = []
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            rng.shuffle(members)
+            cut = int(round(len(members) * (1.0 - test_fraction)))
+            train_idx.extend(members[:cut])
+            test_idx.extend(members[cut:])
+        train = np.array(sorted(train_idx))
+        test = np.array(sorted(test_idx))
+    else:
+        order = rng.permutation(len(X))
+        cut = int(round(len(X) * (1.0 - test_fraction)))
+        train, test = np.sort(order[:cut]), np.sort(order[cut:])
+    return X[train], X[test], y[train], y[test]
+
+
+def one_hot(y: np.ndarray, n_classes: int) -> np.ndarray:
+    """Integer labels -> one-hot rows."""
+    y = np.asarray(y, dtype=int)
+    out = np.zeros((len(y), n_classes))
+    out[np.arange(len(y)), y] = 1.0
+    return out

@@ -1,0 +1,35 @@
+"""Model persistence: the paper's PKL files, plus size metering.
+
+After training, each model is pickled ("we save each model in a PKL
+file") and its on-disk size in kilobytes is one of Table II's
+sustainability metrics.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Any
+
+
+def save_model(model: Any, path: str | Path) -> int:
+    """Pickle ``model`` to ``path``; returns the file size in bytes."""
+    path = Path(path)
+    with open(path, "wb") as fh:
+        pickle.dump(model, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    return path.stat().st_size
+
+
+def load_model(path: str | Path) -> Any:
+    """Load a model previously written by :func:`save_model`.
+
+    Only call on files this library itself produced — pickle executes
+    arbitrary code on load, so never load untrusted model files.
+    """
+    with open(path, "rb") as fh:
+        return pickle.load(fh)
+
+
+def model_size_kb(model: Any) -> float:
+    """In-memory pickled size in kilobytes (Table II's "Model Size")."""
+    return len(pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)) / 1000.0

@@ -1,0 +1,90 @@
+"""Linear SVM trained with SGD on the hinge loss (paper §V future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.preprocessing import NotFittedError
+
+
+class LinearSVM:
+    """L2-regularised linear SVM (Pegasos-style SGD).
+
+    Labels are {0, 1} at the API surface and mapped to {-1, +1}
+    internally.
+    """
+
+    def __init__(
+        self,
+        epochs: int = 15,
+        batch_size: int = 64,
+        lr: float = 0.1,
+        reg: float = 1e-4,
+        random_state: int = 0,
+    ) -> None:
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.reg = reg
+        self.random_state = random_state
+        self.w_: np.ndarray | None = None
+        self.b_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVM":
+        """Train from scratch (weights reset to zero)."""
+        X = np.asarray(X, dtype=float)
+        self.w_ = np.zeros(X.shape[1])
+        self.b_ = 0.0
+        return self.partial_fit(X, y, epochs=self.epochs)
+
+    def partial_fit(self, X: np.ndarray, y: np.ndarray, epochs: int | None = None) -> "LinearSVM":
+        """Continue SGD from the current weights (federated local rounds)."""
+        X = np.asarray(X, dtype=float)
+        y_signed = np.where(np.asarray(y, dtype=int) == 1, 1.0, -1.0)
+        n, d = X.shape
+        if self.w_ is None:
+            self.w_ = np.zeros(d)
+            self.b_ = 0.0
+        if self.w_.shape[0] != d:
+            raise ValueError(f"feature mismatch: model has {self.w_.shape[0]}, X has {d}")
+        rng = np.random.default_rng(self.random_state)
+        w = self.w_
+        b = self.b_
+        step = self.lr
+        for epoch in range(epochs if epochs is not None else self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                margin = y_signed[idx] * (X[idx] @ w + b)
+                active = margin < 1.0
+                grad_w = self.reg * w
+                grad_b = 0.0
+                if active.any():
+                    xa = X[idx][active]
+                    ya = y_signed[idx][active]
+                    grad_w -= (ya[:, None] * xa).mean(axis=0)
+                    grad_b -= float(ya.mean())
+                w = w - step * grad_w
+                b = b - step * grad_b
+            step = self.lr / (1.0 + 0.2 * epoch)  # gently decaying schedule
+        self.w_ = w
+        self.b_ = b
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if self.w_ is None:
+            raise NotFittedError("LinearSVM.decision_function before fit")
+        return np.asarray(X, dtype=float) @ self.w_ + self.b_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.decision_function(X) >= 0.0).astype(int)
+
+    def get_weights(self) -> list[np.ndarray]:
+        """For federated averaging."""
+        if self.w_ is None:
+            raise NotFittedError("LinearSVM.get_weights before fit")
+        return [self.w_.copy(), np.array([self.b_])]
+
+    def set_weights(self, weights: list[np.ndarray]) -> None:
+        self.w_ = weights[0].copy()
+        self.b_ = float(weights[1][0])

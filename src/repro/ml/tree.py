@@ -1,0 +1,189 @@
+"""CART decision trees with vectorised Gini splitting.
+
+The building block of the Random Forest.  Split search is fully
+vectorised: for each candidate feature the labels are ordered by feature
+value and per-class prefix sums give the Gini impurity of every possible
+threshold in O(n) after the sort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.preprocessing import NotFittedError
+
+
+class _Node:
+    """One tree node (internal or leaf)."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "prediction", "counts")
+
+    def __init__(self) -> None:
+        self.feature: int = -1
+        self.threshold: float = 0.0
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+        self.prediction: int = 0
+        self.counts: np.ndarray | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini_best_split(
+    x: np.ndarray, y_onehot: np.ndarray, min_samples_leaf: int
+) -> tuple[float, float] | None:
+    """Best (gain-proxy, threshold) for one feature column, or None.
+
+    Returns the *negative weighted Gini* (higher is better) so callers
+    can compare across features without re-deriving parent impurity.
+    """
+    order = np.argsort(x, kind="stable")
+    x_sorted = x[order]
+    n = len(x_sorted)
+    cum = np.cumsum(y_onehot[order], axis=0)  # per-class prefix counts
+    total = cum[-1]
+    # Candidate split after position i (left = [0..i]), i in [0, n-2].
+    left_counts = cum[:-1]
+    right_counts = total - left_counts
+    n_left = np.arange(1, n)
+    n_right = n - n_left
+    valid = (x_sorted[1:] != x_sorted[:-1])
+    valid &= (n_left >= min_samples_leaf) & (n_right >= min_samples_leaf)
+    if not valid.any():
+        return None
+    gini_left = 1.0 - np.sum((left_counts / n_left[:, None]) ** 2, axis=1)
+    gini_right = 1.0 - np.sum((right_counts / n_right[:, None]) ** 2, axis=1)
+    weighted = (n_left * gini_left + n_right * gini_right) / n
+    weighted[~valid] = np.inf
+    best = int(np.argmin(weighted))
+    if not np.isfinite(weighted[best]):
+        return None
+    threshold = 0.5 * (x_sorted[best] + x_sorted[best + 1])
+    return -float(weighted[best]), float(threshold)
+
+
+class DecisionTreeClassifier:
+    """A binary-split CART classifier.
+
+    Parameters mirror scikit-learn: ``max_depth``, ``min_samples_split``,
+    ``min_samples_leaf``, and ``max_features`` (``None``, an int, or
+    ``"sqrt"`` for the forest's per-node feature subsampling).
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        random_state: int = 0,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.root_: _Node | None = None
+        self.n_classes_: int = 0
+        self.n_features_: int = 0
+        self.node_count_: int = 0
+
+    def _n_candidate_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        return min(int(self.max_features), n_features)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ValueError("X must be 2-D and aligned with y")
+        self.n_classes_ = int(y.max()) + 1 if y.size else 1
+        self.n_features_ = X.shape[1]
+        self.node_count_ = 0
+        rng = np.random.default_rng(self.random_state)
+        y_onehot = np.zeros((len(y), self.n_classes_))
+        y_onehot[np.arange(len(y)), y] = 1.0
+        self.root_ = self._build(X, y_onehot, depth=0, rng=rng)
+        return self
+
+    def _build(self, X: np.ndarray, y_onehot: np.ndarray, depth: int, rng) -> _Node:
+        node = _Node()
+        self.node_count_ += 1
+        counts = y_onehot.sum(axis=0)
+        node.counts = counts
+        node.prediction = int(np.argmax(counts))
+        n = len(X)
+        pure = counts.max() == n
+        too_deep = self.max_depth is not None and depth >= self.max_depth
+        if pure or too_deep or n < self.min_samples_split:
+            return node
+        k = self._n_candidate_features(self.n_features_)
+        features = (
+            np.arange(self.n_features_)
+            if k == self.n_features_
+            else rng.choice(self.n_features_, size=k, replace=False)
+        )
+        best_score = -np.inf
+        best_feature = -1
+        best_threshold = 0.0
+        for feature in features:
+            result = _gini_best_split(X[:, feature], y_onehot, self.min_samples_leaf)
+            if result is not None and result[0] > best_score:
+                best_score, best_threshold = result
+                best_feature = int(feature)
+        if best_feature < 0:
+            return node
+        mask = X[:, best_feature] <= best_threshold
+        node.feature = best_feature
+        node.threshold = best_threshold
+        node.left = self._build(X[mask], y_onehot[mask], depth + 1, rng)
+        node.right = self._build(X[~mask], y_onehot[~mask], depth + 1, rng)
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted class for each row."""
+        proba = self.predict_proba(X)
+        return np.argmax(proba, axis=1)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Leaf class-frequency estimates for each row."""
+        if self.root_ is None:
+            raise NotFittedError("DecisionTreeClassifier.predict before fit")
+        X = np.asarray(X, dtype=float)
+        out = np.zeros((len(X), self.n_classes_))
+        # Iterative mask-based traversal: each (node, indices) pair routes
+        # its rows left/right in one vectorised comparison.
+        stack: list[tuple[_Node, np.ndarray]] = [(self.root_, np.arange(len(X)))]
+        while stack:
+            node, idx = stack.pop()
+            if idx.size == 0:
+                continue
+            if node.is_leaf:
+                assert node.counts is not None
+                total = node.counts.sum()
+                out[idx] = node.counts / total if total else 0.0
+                continue
+            mask = X[idx, node.feature] <= node.threshold
+            assert node.left is not None and node.right is not None
+            stack.append((node.left, idx[mask]))
+            stack.append((node.right, idx[~mask]))
+        return out
+
+    @property
+    def depth_(self) -> int:
+        """Actual depth of the fitted tree."""
+        if self.root_ is None:
+            raise NotFittedError("tree not fitted")
+
+        def depth(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            assert node.left is not None and node.right is not None
+            return 1 + max(depth(node.left), depth(node.right))
+
+        return depth(self.root_)

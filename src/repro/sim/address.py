@@ -1,0 +1,158 @@
+"""IPv4 and MAC addressing for the simulated network.
+
+Addresses are thin immutable wrappers over integers so they hash and
+compare cheaply (packet records store millions of them) while printing in
+the familiar dotted-quad / colon-hex forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class AddressError(ValueError):
+    """Raised for malformed address strings or exhausted allocators."""
+
+
+@dataclass(frozen=True, slots=True)
+class Ipv4Address:
+    """An IPv4 address stored as a 32-bit unsigned integer."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFFFFFFFF:
+            raise AddressError(f"IPv4 value out of range: {self.value}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Ipv4Address":
+        """Parse a dotted-quad string such as ``"10.0.0.1"``."""
+        parts = text.strip().split(".")
+        if len(parts) != 4:
+            raise AddressError(f"malformed IPv4 address: {text!r}")
+        value = 0
+        for part in parts:
+            if not part.isdigit():
+                raise AddressError(f"malformed IPv4 address: {text!r}")
+            octet = int(part)
+            if octet > 255:
+                raise AddressError(f"octet out of range in {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    def __str__(self) -> str:
+        v = self.value
+        return f"{(v >> 24) & 0xFF}.{(v >> 16) & 0xFF}.{(v >> 8) & 0xFF}.{v & 0xFF}"
+
+    def __repr__(self) -> str:
+        return f"Ipv4Address({str(self)!r})"
+
+    def __int__(self) -> int:
+        return self.value
+
+
+#: The all-zero address, used as "unspecified" in socket binds.
+ANY_ADDRESS = Ipv4Address(0)
+
+
+@dataclass(frozen=True, slots=True)
+class MacAddress:
+    """A 48-bit MAC address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFFFFFFFFFFFF:
+            raise AddressError(f"MAC value out of range: {self.value}")
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddress":
+        """Parse a colon-separated hex string such as ``"02:00:00:00:00:01"``."""
+        parts = text.strip().split(":")
+        if len(parts) != 6:
+            raise AddressError(f"malformed MAC address: {text!r}")
+        value = 0
+        for part in parts:
+            try:
+                octet = int(part, 16)
+            except ValueError as exc:
+                raise AddressError(f"malformed MAC address: {text!r}") from exc
+            if not 0 <= octet <= 255:
+                raise AddressError(f"octet out of range in {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    def __str__(self) -> str:
+        octets = [(self.value >> shift) & 0xFF for shift in range(40, -8, -8)]
+        return ":".join(f"{o:02x}" for o in octets)
+
+    def __repr__(self) -> str:
+        return f"MacAddress({str(self)!r})"
+
+
+#: Broadcast MAC address (all ones).
+BROADCAST_MAC = MacAddress(0xFFFFFFFFFFFF)
+
+
+class MacAllocator:
+    """Hands out locally-administered MAC addresses sequentially."""
+
+    _BASE = 0x020000000000  # locally administered, unicast
+
+    def __init__(self) -> None:
+        self._next = 1
+
+    def allocate(self) -> MacAddress:
+        mac = MacAddress(self._BASE | self._next)
+        self._next += 1
+        return mac
+
+
+class Ipv4Network:
+    """An IPv4 subnet with a sequential host-address allocator.
+
+    Mirrors NS-3's ``Ipv4AddressHelper``: the testbed carves one /24 (or
+    other prefix) per LAN and assigns hosts in join order.
+    """
+
+    def __init__(self, base: str | Ipv4Address, prefix_len: int) -> None:
+        if not 0 <= prefix_len <= 32:
+            raise AddressError(f"prefix length out of range: {prefix_len}")
+        base_addr = Ipv4Address.parse(base) if isinstance(base, str) else base
+        self.prefix_len = prefix_len
+        self.mask = (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF if prefix_len else 0
+        self.network = Ipv4Address(base_addr.value & self.mask)
+        self._next_host = 1
+
+    @property
+    def broadcast(self) -> Ipv4Address:
+        """The subnet's directed-broadcast address."""
+        return Ipv4Address(self.network.value | (~self.mask & 0xFFFFFFFF))
+
+    def contains(self, address: Ipv4Address) -> bool:
+        """Whether ``address`` falls inside this subnet."""
+        return (address.value & self.mask) == self.network.value
+
+    def allocate(self) -> Ipv4Address:
+        """Return the next free host address in the subnet."""
+        host_bits = 32 - self.prefix_len
+        max_host = (1 << host_bits) - 2 if host_bits >= 2 else (1 << host_bits) - 1
+        if self._next_host > max_host:
+            raise AddressError(f"subnet {self} exhausted")
+        address = Ipv4Address(self.network.value | self._next_host)
+        self._next_host += 1
+        return address
+
+    def hosts(self) -> Iterator[Ipv4Address]:
+        """Iterate every usable host address in the subnet (scan target set)."""
+        host_bits = 32 - self.prefix_len
+        max_host = (1 << host_bits) - 2 if host_bits >= 2 else (1 << host_bits) - 1
+        for host in range(1, max_host + 1):
+            yield Ipv4Address(self.network.value | host)
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.prefix_len}"
+
+    def __repr__(self) -> str:
+        return f"Ipv4Network({str(self)!r})"

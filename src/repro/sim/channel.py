@@ -1,0 +1,186 @@
+"""CSMA (shared-bus Ethernet) channel and net devices.
+
+Mirrors NS-3's ``CsmaChannel``/``CsmaNetDevice`` pair that DDoSim uses to
+wire Docker ghost nodes together: one shared medium with a configurable
+data rate and propagation delay, collision-free arbitration (devices wait
+their turn in FIFO order, like NS-3's post-backoff winner), and per-device
+drop-tail transmit queues.
+
+The IDS taps the channel with a promiscuous probe registered via
+:meth:`CsmaChannel.add_probe`, which observes every frame exactly once at
+delivery time — the analogue of sniffing the TServer's switch port.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.sim.address import BROADCAST_MAC, Ipv4Address, MacAddress
+from repro.sim.core import Simulator
+from repro.sim.packet import EthernetHeader, Packet
+from repro.sim.queue import DropTailQueue
+from repro.sim.units import parse_rate, parse_time
+
+if TYPE_CHECKING:
+    from repro.sim.node import Node
+
+#: Probe callback: (packet, rx_time) for every frame delivered on the channel.
+ProbeFn = Callable[[Packet, float], None]
+
+
+class CsmaChannel:
+    """A shared-medium channel serving attached devices in FIFO order."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        data_rate: str | float = "100Mbps",
+        delay: str | float = "6.56us",
+    ) -> None:
+        self.sim = sim
+        self.data_rate = parse_rate(data_rate)
+        self.delay = parse_time(delay)
+        self._devices: list[CsmaNetDevice] = []
+        self._by_mac: dict[MacAddress, CsmaNetDevice] = {}
+        self._busy = False
+        self._waiting: list[CsmaNetDevice] = []
+        self._probes: list[ProbeFn] = []
+        self.frames_delivered = 0
+
+    def attach(self, device: "CsmaNetDevice") -> None:
+        """Register ``device`` on the medium."""
+        if device not in self._devices:
+            self._devices.append(device)
+        self._by_mac[device.mac] = device
+        device.attached = True
+
+    def detach(self, device: "CsmaNetDevice") -> None:
+        """Remove ``device`` (device churn: an IoT node leaving the LAN)."""
+        if device in self._devices:
+            self._devices.remove(device)
+            self._by_mac.pop(device.mac, None)
+        if device in self._waiting:
+            self._waiting.remove(device)
+        device.attached = False
+        device.queue.clear()
+
+    def add_probe(self, probe: ProbeFn) -> None:
+        """Attach a promiscuous observer called once per delivered frame."""
+        self._probes.append(probe)
+
+    def remove_probe(self, probe: ProbeFn) -> None:
+        """Detach a previously-added observer (end of a capture phase)."""
+        if probe in self._probes:
+            self._probes.remove(probe)
+
+    def resolve(self, address: Ipv4Address) -> MacAddress | None:
+        """Map an IPv4 address to the MAC of the device that owns it.
+
+        Substitutes for ARP: on a simulated LAN the channel can consult
+        every attached node's interface table directly.
+        """
+        for device in self._devices:
+            if device.node is not None and device.node.owns_address(address):
+                return device.mac
+        return None
+
+    def transmission_time(self, size_bytes: int) -> float:
+        """Seconds needed to serialize ``size_bytes`` onto the medium."""
+        return size_bytes * 8 / self.data_rate
+
+    def request(self, device: "CsmaNetDevice") -> None:
+        """A device with a non-empty queue asks for the medium."""
+        if device not in self._waiting:
+            self._waiting.append(device)
+        self._serve()
+
+    def _serve(self) -> None:
+        if self._busy:
+            return
+        while self._waiting:
+            device = self._waiting.pop(0)
+            frame = device.queue.dequeue()
+            if frame is None:
+                continue
+            self._busy = True
+            tx_time = self.transmission_time(frame.size)
+            self.sim.schedule(tx_time + self.delay, self._deliver, frame, device)
+            self.sim.schedule(tx_time, self._release, device)
+            return
+
+    def _release(self, device: "CsmaNetDevice") -> None:
+        self._busy = False
+        if not device.queue.is_empty:
+            self.request(device)
+        else:
+            self._serve()
+
+    def _deliver(self, frame: Packet, sender: "CsmaNetDevice") -> None:
+        self.frames_delivered += 1
+        for probe in self._probes:
+            probe(frame, self.sim.now)
+        assert frame.eth is not None
+        if frame.eth.dst == BROADCAST_MAC:
+            for device in list(self._devices):
+                if device is not sender:
+                    device.receive(frame)
+            return
+        target = self._by_mac.get(frame.eth.dst)
+        if target is not None and target is not sender:
+            target.receive(frame)
+
+
+class CsmaNetDevice:
+    """A network interface attaching one node to a CSMA channel."""
+
+    def __init__(
+        self,
+        channel: CsmaChannel,
+        mac: MacAddress,
+        queue_capacity: int = 512,
+    ) -> None:
+        self.channel = channel
+        self.mac = mac
+        self.queue = DropTailQueue(queue_capacity)
+        self.node: "Node | None" = None
+        self.promiscuous = False
+        self.attached = False
+        self.tx_count = 0
+        self.rx_count = 0
+        self._rx_callbacks: list[Callable[[Packet], None]] = []
+        channel.attach(self)
+
+    def add_rx_callback(self, callback: Callable[[Packet], None]) -> None:
+        """Observe frames accepted by this device (after MAC filtering)."""
+        self._rx_callbacks.append(callback)
+
+    def send(self, packet: Packet, dst_mac: MacAddress) -> bool:
+        """Frame ``packet`` and queue it for transmission.
+
+        Returns False if the device is off the medium (churned away) or
+        the transmit queue dropped the frame.
+        """
+        if not self.attached:
+            return False
+        frame = packet.with_eth(EthernetHeader(src=self.mac, dst=dst_mac))
+        accepted = self.queue.enqueue(frame)
+        if accepted:
+            self.tx_count += 1
+            self.channel.request(self)
+        return accepted
+
+    def receive(self, frame: Packet) -> None:
+        """Channel delivers a frame; filter by MAC unless promiscuous."""
+        assert frame.eth is not None
+        is_mine = frame.eth.dst in (self.mac, BROADCAST_MAC)
+        if not is_mine and not self.promiscuous:
+            return
+        self.rx_count += 1
+        for callback in self._rx_callbacks:
+            callback(frame)
+        if is_mine and self.node is not None:
+            self.node.receive(frame, self)
+
+    def detach(self) -> None:
+        """Leave the channel (device churn)."""
+        self.channel.detach(self)

@@ -1,0 +1,262 @@
+"""Packets and protocol headers.
+
+A :class:`Packet` is a stack of typed headers plus an opaque payload.
+Headers serialize to their real wire layouts (Ethernet II, IPv4, TCP, UDP)
+so captures written by :class:`repro.sim.tracing.PcapWriter` open in any
+standard pcap tool, and header sizes contribute correctly to transmission
+delay on simulated channels.
+
+Packets also carry out-of-band ``provenance`` metadata (which process
+created them, and whether that process was a botnet attack module).  The
+provenance never appears on the wire or in any feature the IDS sees; it
+exists solely so captures can be ground-truth labelled, mirroring how the
+paper labels traffic by knowing which container emitted it.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field, replace
+
+from repro.sim.address import Ipv4Address, MacAddress
+
+ETHERTYPE_IPV4 = 0x0800
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+ETHERNET_HEADER_LEN = 14
+IPV4_HEADER_LEN = 20
+TCP_HEADER_LEN = 20
+UDP_HEADER_LEN = 8
+
+
+class TcpFlags(enum.IntFlag):
+    """TCP control flags (subset used by the testbed and the IDS features)."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+
+
+@dataclass(frozen=True, slots=True)
+class EthernetHeader:
+    """Ethernet II frame header."""
+
+    src: MacAddress
+    dst: MacAddress
+    ethertype: int = ETHERTYPE_IPV4
+
+    size = ETHERNET_HEADER_LEN
+
+    def to_bytes(self) -> bytes:
+        return struct.pack(
+            "!6s6sH",
+            self.dst.value.to_bytes(6, "big"),
+            self.src.value.to_bytes(6, "big"),
+            self.ethertype,
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EthernetHeader":
+        dst, src, ethertype = struct.unpack("!6s6sH", data[:ETHERNET_HEADER_LEN])
+        return cls(
+            src=MacAddress(int.from_bytes(src, "big")),
+            dst=MacAddress(int.from_bytes(dst, "big")),
+            ethertype=ethertype,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Ipv4Header:
+    """IPv4 header (no options)."""
+
+    src: Ipv4Address
+    dst: Ipv4Address
+    protocol: int
+    ttl: int = 64
+    identification: int = 0
+    total_length: int = 0  # filled by serialization when zero
+
+    size = IPV4_HEADER_LEN
+
+    def to_bytes(self, payload_len: int = 0) -> bytes:
+        total = self.total_length or (IPV4_HEADER_LEN + payload_len)
+        header = struct.pack(
+            "!BBHHHBBH4s4s",
+            0x45,  # version 4, IHL 5
+            0,  # DSCP/ECN
+            total,
+            self.identification & 0xFFFF,
+            0,  # flags/fragment offset
+            self.ttl,
+            self.protocol,
+            0,  # checksum placeholder
+            self.src.value.to_bytes(4, "big"),
+            self.dst.value.to_bytes(4, "big"),
+        )
+        checksum = _ipv4_checksum(header)
+        return header[:10] + struct.pack("!H", checksum) + header[12:]
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Ipv4Header":
+        (_vihl, _tos, total, ident, _frag, ttl, proto, _ck, src, dst) = struct.unpack(
+            "!BBHHHBBH4s4s", data[:IPV4_HEADER_LEN]
+        )
+        return cls(
+            src=Ipv4Address(int.from_bytes(src, "big")),
+            dst=Ipv4Address(int.from_bytes(dst, "big")),
+            protocol=proto,
+            ttl=ttl,
+            identification=ident,
+            total_length=total,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TcpHeader:
+    """TCP header (no options)."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: TcpFlags = TcpFlags(0)
+    window: int = 65535
+
+    size = TCP_HEADER_LEN
+
+    def to_bytes(self) -> bytes:
+        return struct.pack(
+            "!HHIIBBHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            (TCP_HEADER_LEN // 4) << 4,
+            int(self.flags),
+            self.window,
+            0,  # checksum (not computed; pcap tools tolerate zero)
+            0,  # urgent pointer
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TcpHeader":
+        (sport, dport, seq, ack, _off, flags, window, _ck, _urg) = struct.unpack(
+            "!HHIIBBHHH", data[:TCP_HEADER_LEN]
+        )
+        return cls(sport, dport, seq, ack, TcpFlags(flags), window)
+
+
+@dataclass(frozen=True, slots=True)
+class UdpHeader:
+    """UDP header."""
+
+    src_port: int
+    dst_port: int
+    length: int = UDP_HEADER_LEN
+
+    size = UDP_HEADER_LEN
+
+    def to_bytes(self) -> bytes:
+        return struct.pack("!HHHH", self.src_port, self.dst_port, self.length, 0)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "UdpHeader":
+        sport, dport, length, _ck = struct.unpack("!HHHH", data[:UDP_HEADER_LEN])
+        return cls(sport, dport, length)
+
+
+def _ipv4_checksum(header: bytes) -> int:
+    """Standard ones-complement sum over 16-bit words."""
+    total = 0
+    for i in range(0, len(header), 2):
+        total += (header[i] << 8) | header[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+@dataclass(frozen=True, slots=True)
+class Provenance:
+    """Out-of-band origin tag used only for ground-truth labelling."""
+
+    origin: str = "unknown"
+    malicious: bool = False
+    attack: str | None = None
+
+
+BENIGN = Provenance(origin="app", malicious=False)
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """An immutable packet: Ethernet/IPv4/transport headers + payload.
+
+    ``payload`` is application data as bytes; ``payload_len`` lets bulk
+    transfers model large payloads without materialising the bytes (the
+    wire format pads with zeros on serialization).
+    """
+
+    eth: EthernetHeader | None = None
+    ip: Ipv4Header | None = None
+    tcp: TcpHeader | None = None
+    udp: UdpHeader | None = None
+    payload: bytes = b""
+    payload_len: int | None = None
+    provenance: Provenance = BENIGN
+    app_data: object | None = field(default=None, compare=False)
+
+    @property
+    def data_len(self) -> int:
+        """Length of the application payload in bytes."""
+        return self.payload_len if self.payload_len is not None else len(self.payload)
+
+    @property
+    def size(self) -> int:
+        """Total on-wire size in bytes, headers included."""
+        size = self.data_len
+        for header in (self.eth, self.ip, self.tcp, self.udp):
+            if header is not None:
+                size += header.size
+        return size
+
+    def with_eth(self, eth: EthernetHeader) -> "Packet":
+        """Return a copy with the Ethernet header replaced (L2 framing)."""
+        return replace(self, eth=eth)
+
+    def to_bytes(self) -> bytes:
+        """Serialize to real wire format (for pcap export)."""
+        body = self.payload + b"\x00" * (self.data_len - len(self.payload))
+        if self.tcp is not None:
+            segment = self.tcp.to_bytes() + body
+        elif self.udp is not None:
+            udp = replace(self.udp, length=UDP_HEADER_LEN + len(body))
+            segment = udp.to_bytes() + body
+        else:
+            segment = body
+        if self.ip is not None:
+            segment = self.ip.to_bytes(payload_len=len(segment)) + segment
+        if self.eth is not None:
+            segment = self.eth.to_bytes() + segment
+        return segment
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Packet":
+        """Parse a wire-format frame back into structured headers."""
+        eth = EthernetHeader.from_bytes(data)
+        offset = ETHERNET_HEADER_LEN
+        ip = tcp = udp = None
+        if eth.ethertype == ETHERTYPE_IPV4:
+            ip = Ipv4Header.from_bytes(data[offset:])
+            offset += IPV4_HEADER_LEN
+            if ip.protocol == PROTO_TCP:
+                tcp = TcpHeader.from_bytes(data[offset:])
+                offset += TCP_HEADER_LEN
+            elif ip.protocol == PROTO_UDP:
+                udp = UdpHeader.from_bytes(data[offset:])
+                offset += UDP_HEADER_LEN
+        return cls(eth=eth, ip=ip, tcp=tcp, udp=udp, payload=data[offset:])

@@ -1,0 +1,60 @@
+"""Transmit queues for net devices.
+
+CSMA devices enqueue frames while the channel is busy.  Under a DDoS
+flood the queue overflows and drops packets — the mechanism by which the
+simulated TServer's goodput collapses, exactly as on a real congested
+link.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.sim.packet import Packet
+
+
+class DropTailQueue:
+    """Fixed-capacity FIFO that drops arrivals when full."""
+
+    def __init__(self, capacity: int = 100) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._items: deque[Packet] = deque()
+        self.enqueued = 0
+        self.dropped = 0
+        self.dequeued = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Append ``packet``; return False (and count a drop) when full."""
+        if self.is_full:
+            self.dropped += 1
+            return False
+        self._items.append(packet)
+        self.enqueued += 1
+        return True
+
+    def dequeue(self) -> Packet | None:
+        """Pop the oldest packet, or None when empty."""
+        if not self._items:
+            return None
+        self.dequeued += 1
+        return self._items.popleft()
+
+    def peek(self) -> Packet | None:
+        """Look at the oldest packet without removing it."""
+        return self._items[0] if self._items else None
+
+    def clear(self) -> None:
+        self._items.clear()

@@ -1,0 +1,124 @@
+"""Topology helpers: assemble LANs the way the testbed's scripts do.
+
+DDoShield-IoT's network is a single CSMA segment joining the Attacker,
+the Devs, the TServer, and the IDS tap.  :class:`CsmaLan` wraps channel
+creation, MAC/IP assignment, and node attachment behind one call per
+host, mirroring NS-3's ``CsmaHelper`` + ``Ipv4AddressHelper`` pair.
+"""
+
+from __future__ import annotations
+
+from repro.sim.address import Ipv4Address, Ipv4Network, MacAllocator
+from repro.sim.channel import CsmaChannel
+from repro.sim.core import Simulator
+from repro.sim.node import Node, connect_to_lan
+from repro.sim.tracing import PacketProbe
+
+
+class CsmaLan:
+    """A CSMA segment with automatic MAC and IPv4 assignment."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        subnet: str = "10.0.0.0",
+        prefix_len: int = 24,
+        data_rate: str | float = "100Mbps",
+        delay: str | float = "6.56us",
+    ) -> None:
+        self.sim = sim
+        self.channel = CsmaChannel(sim, data_rate=data_rate, delay=delay)
+        self.network = Ipv4Network(subnet, prefix_len)
+        self.macs = MacAllocator()
+        self.nodes: list[Node] = []
+
+    def add_host(
+        self,
+        name: str,
+        address: Ipv4Address | None = None,
+        queue_capacity: int = 512,
+    ) -> Node:
+        """Create a node, attach it to the LAN, and assign an address."""
+        node = Node(self.sim, name)
+        connect_to_lan(
+            node,
+            self.channel,
+            self.network,
+            self.macs.allocate(),
+            address=address,
+            queue_capacity=queue_capacity,
+        )
+        self.nodes.append(node)
+        return node
+
+    def attach(self, node: Node, queue_capacity: int = 512) -> None:
+        """Attach an existing node (e.g. a container ghost node)."""
+        connect_to_lan(
+            node,
+            self.channel,
+            self.network,
+            self.macs.allocate(),
+            queue_capacity=queue_capacity,
+        )
+        self.nodes.append(node)
+
+    def add_probe(self, probe: PacketProbe) -> PacketProbe:
+        """Install a promiscuous capture tap on the segment."""
+        self.channel.add_probe(probe)
+        return probe
+
+    def remove_host(self, node: Node) -> None:
+        """Detach a node's devices from the LAN (device churn)."""
+        for iface in node.interfaces:
+            iface.device.detach()
+        if node in self.nodes:
+            self.nodes.remove(node)
+
+
+class Router:
+    """A node forwarding between several LANs (an IoT gateway).
+
+    The testbed's single-segment topology matches the paper; this helper
+    supports the multi-segment deployments its threats-to-validity
+    section calls for (e.g. an IoT LAN behind a gateway with the TServer
+    on a separate server LAN)::
+
+        router = Router(sim, "gw")
+        router.join(iot_lan)
+        router.join(server_lan)
+        for host in iot_lan.nodes:
+            host.default_gateway = router.address_on(iot_lan)
+    """
+
+    def __init__(self, sim: Simulator, name: str = "router") -> None:
+        self.node = Node(sim, name)
+        self.node.is_router = True
+        self._lan_addresses: dict[int, Ipv4Address] = {}
+
+    def join(self, lan: CsmaLan, queue_capacity: int = 512) -> Ipv4Address:
+        """Attach an interface on ``lan``; returns the router's address there."""
+        iface = connect_to_lan(
+            self.node,
+            lan.channel,
+            lan.network,
+            lan.macs.allocate(),
+            queue_capacity=queue_capacity,
+        )
+        lan.nodes.append(self.node)
+        self._lan_addresses[id(lan)] = iface.address
+        return iface.address
+
+    def address_on(self, lan: CsmaLan) -> Ipv4Address:
+        """The router's address on ``lan`` (for hosts' default gateway)."""
+        try:
+            return self._lan_addresses[id(lan)]
+        except KeyError:
+            raise ValueError(f"router {self.node.name} has not joined that LAN") from None
+
+
+def set_default_gateway(lan: CsmaLan, router: Router) -> None:
+    """Point every current host on ``lan`` at ``router``."""
+    gateway = router.address_on(lan)
+    for node in lan.nodes:
+        if node is not router.node:
+            node.default_gateway = gateway

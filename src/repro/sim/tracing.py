@@ -1,0 +1,200 @@
+"""Traffic capture: in-memory packet records and libpcap-format files.
+
+The IDS container in the paper sniffs the simulated network and feeds the
+capture to its feature pipeline.  Here a :class:`PacketProbe` registered
+on a channel produces :class:`PacketRecord` rows — the flat per-packet
+facts the feature extractor consumes — and can simultaneously stream the
+raw frames to a :class:`PcapWriter`, which emits genuine libpcap files
+readable by Wireshark/tcpdump (DDoSim's external-analysis workflow).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.sim.packet import PROTO_TCP, PROTO_UDP, Packet, TcpFlags
+
+PCAP_MAGIC = 0xA1B2C3D2  # nanosecond-resolution variant
+PCAP_LINKTYPE_ETHERNET = 1
+
+
+@dataclass(frozen=True, slots=True)
+class PacketRecord:
+    """One captured packet, flattened for feature extraction.
+
+    ``label`` is ground truth taken from packet provenance (which process
+    emitted it) — never from anything the wire carries — and is used only
+    for training labels and accuracy scoring.
+    """
+
+    timestamp: float
+    src_ip: int
+    dst_ip: int
+    protocol: int
+    src_port: int
+    dst_port: int
+    size: int
+    tcp_flags: int
+    seq: int
+    label: int  # 1 = malicious, 0 = benign
+    attack: str | None = None
+
+    @classmethod
+    def from_packet(cls, packet: Packet, timestamp: float) -> "PacketRecord":
+        if packet.ip is None:
+            raise ValueError("cannot record a packet without an IPv4 header")
+        src_port = dst_port = 0
+        tcp_flags = seq = 0
+        if packet.tcp is not None:
+            src_port = packet.tcp.src_port
+            dst_port = packet.tcp.dst_port
+            tcp_flags = int(packet.tcp.flags)
+            seq = packet.tcp.seq
+        elif packet.udp is not None:
+            src_port = packet.udp.src_port
+            dst_port = packet.udp.dst_port
+        return cls(
+            timestamp=timestamp,
+            src_ip=packet.ip.src.value,
+            dst_ip=packet.ip.dst.value,
+            protocol=packet.ip.protocol,
+            src_port=src_port,
+            dst_port=dst_port,
+            size=packet.size,
+            tcp_flags=tcp_flags,
+            seq=seq,
+            label=1 if packet.provenance.malicious else 0,
+            attack=packet.provenance.attack,
+        )
+
+    @property
+    def is_tcp(self) -> bool:
+        return self.protocol == PROTO_TCP
+
+    @property
+    def is_udp(self) -> bool:
+        return self.protocol == PROTO_UDP
+
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.tcp_flags & TcpFlags.SYN) and not bool(
+            self.tcp_flags & TcpFlags.ACK
+        )
+
+    @property
+    def is_ack(self) -> bool:
+        return bool(self.tcp_flags & TcpFlags.ACK)
+
+    @property
+    def is_fin(self) -> bool:
+        return bool(self.tcp_flags & TcpFlags.FIN)
+
+    @property
+    def flow_key(self) -> tuple[int, int, int, int, int]:
+        """The connection 5-tuple this packet belongs to."""
+        return (self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.protocol)
+
+
+class PacketProbe:
+    """Promiscuous channel tap collecting :class:`PacketRecord` rows.
+
+    Optional ``sink`` callbacks receive each record as it is captured —
+    this is how the real-time IDS subscribes to live traffic.
+    """
+
+    def __init__(
+        self,
+        pcap: "PcapWriter | None" = None,
+        keep_records: bool = True,
+    ) -> None:
+        self.records: list[PacketRecord] = []
+        self.pcap = pcap
+        self.keep_records = keep_records
+        self.sinks: list[Callable[[PacketRecord], None]] = []
+        self.count = 0
+
+    def __call__(self, packet: Packet, timestamp: float) -> None:
+        if packet.ip is None:
+            return
+        record = PacketRecord.from_packet(packet, timestamp)
+        self.count += 1
+        if self.keep_records:
+            self.records.append(record)
+        if self.pcap is not None:
+            self.pcap.write(packet, timestamp)
+        for sink in self.sinks:
+            sink(record)
+
+    def subscribe(self, sink: Callable[[PacketRecord], None]) -> None:
+        self.sinks.append(sink)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class PcapWriter:
+    """Writes frames to a libpcap file (nanosecond timestamps, Ethernet)."""
+
+    def __init__(self, path: str | Path, snaplen: int = 65535) -> None:
+        self.path = Path(path)
+        self.snaplen = snaplen
+        self._fh = open(self.path, "wb")
+        self._fh.write(
+            struct.pack(
+                "<IHHiIII",
+                PCAP_MAGIC,
+                2,
+                4,
+                0,
+                0,
+                snaplen,
+                PCAP_LINKTYPE_ETHERNET,
+            )
+        )
+        self.packets_written = 0
+
+    def write(self, packet: Packet, timestamp: float) -> None:
+        data = packet.to_bytes()[: self.snaplen]
+        seconds = int(timestamp)
+        nanos = int(round((timestamp - seconds) * 1e9))
+        self._fh.write(struct.pack("<IIII", seconds, nanos, len(data), packet.size))
+        self._fh.write(data)
+        self.packets_written += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class PcapReader:
+    """Reads frames back from a libpcap file written by :class:`PcapWriter`."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def __iter__(self) -> Iterator[tuple[float, Packet]]:
+        with open(self.path, "rb") as fh:
+            header = fh.read(24)
+            if len(header) < 24:
+                raise ValueError(f"{self.path} is not a pcap file")
+            (magic,) = struct.unpack("<I", header[:4])
+            if magic not in (PCAP_MAGIC, 0xA1B2C3D4):
+                raise ValueError(f"{self.path}: unknown pcap magic {magic:#x}")
+            nanos_resolution = magic == PCAP_MAGIC
+            while True:
+                record_header = fh.read(16)
+                if len(record_header) < 16:
+                    return
+                seconds, frac, caplen, _origlen = struct.unpack("<IIII", record_header)
+                data = fh.read(caplen)
+                scale = 1e-9 if nanos_resolution else 1e-6
+                yield seconds + frac * scale, Packet.from_bytes(data)

@@ -1,0 +1,65 @@
+"""Human-friendly unit parsing for rates, sizes, and times.
+
+Scenario configs speak in ``"100Mbps"`` and ``"50ms"`` like NS-3 attribute
+strings; the simulator core works in bits-per-second and seconds.
+"""
+
+from __future__ import annotations
+
+_RATE_SUFFIXES = {
+    "bps": 1.0,
+    "kbps": 1e3,
+    "mbps": 1e6,
+    "gbps": 1e9,
+}
+
+_TIME_SUFFIXES = {
+    "s": 1.0,
+    "ms": 1e-3,
+    "us": 1e-6,
+    "ns": 1e-9,
+    "min": 60.0,
+    "h": 3600.0,
+}
+
+_SIZE_SUFFIXES = {
+    "b": 1,
+    "kb": 1_000,
+    "mb": 1_000_000,
+    "gb": 1_000_000_000,
+    "kib": 1024,
+    "mib": 1024**2,
+    "gib": 1024**3,
+}
+
+
+def _parse(text: str | float, suffixes: dict[str, float], kind: str) -> float:
+    if isinstance(text, (int, float)):
+        return float(text)
+    cleaned = text.strip().lower().replace(" ", "")
+    for suffix in sorted(suffixes, key=len, reverse=True):
+        if cleaned.endswith(suffix):
+            number = cleaned[: -len(suffix)]
+            try:
+                return float(number) * suffixes[suffix]
+            except ValueError as exc:
+                raise ValueError(f"malformed {kind}: {text!r}") from exc
+    try:
+        return float(cleaned)
+    except ValueError as exc:
+        raise ValueError(f"malformed {kind}: {text!r}") from exc
+
+
+def parse_rate(text: str | float) -> float:
+    """Parse a data rate like ``"100Mbps"`` into bits per second."""
+    return _parse(text, _RATE_SUFFIXES, "data rate")
+
+
+def parse_time(text: str | float) -> float:
+    """Parse a duration like ``"50ms"`` or ``"2min"`` into seconds."""
+    return _parse(text, _TIME_SUFFIXES, "duration")
+
+
+def parse_size(text: str | float) -> int:
+    """Parse a byte size like ``"10MB"`` into bytes."""
+    return int(_parse(text, _SIZE_SUFFIXES, "size"))

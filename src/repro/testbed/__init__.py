@@ -1,0 +1,40 @@
+"""DDoShield-IoT: the assembled testbed.
+
+:class:`~repro.testbed.scenario.Scenario` declares the deployment
+(device count, benign traffic mix, attack schedule, seeds);
+:class:`~repro.testbed.builder.Testbed` assembles Figure 1 — TServer
+(Apache/Nginx-RTMP/FTP), Devs (vulnerable telnet + benign clients),
+Attacker (CNC, scanner, loader), and the IDS tap — on one simulated CSMA
+LAN; :mod:`repro.testbed.experiment` provides the one-call train /
+real-time-detect flows behind every benchmark.
+"""
+
+from repro.testbed.builder import Testbed
+from repro.testbed.impact import ImpactSample, ImpactSeries, VictimMonitor, attach_victim_monitor
+from repro.testbed.experiment import (
+    ExperimentResult,
+    ModelSpec,
+    TrainedModel,
+    default_model_specs,
+    run_full_experiment,
+    run_realtime_detection,
+    train_models,
+)
+from repro.testbed.scenario import AttackPhase, Scenario
+
+__all__ = [
+    "AttackPhase",
+    "ExperimentResult",
+    "ImpactSample",
+    "ImpactSeries",
+    "ModelSpec",
+    "Scenario",
+    "Testbed",
+    "TrainedModel",
+    "VictimMonitor",
+    "attach_victim_monitor",
+    "default_model_specs",
+    "run_full_experiment",
+    "run_realtime_detection",
+    "train_models",
+]

@@ -1,0 +1,282 @@
+"""Assembles the Figure 1 topology and drives testbed phases.
+
+One :class:`Testbed` owns the simulator, the CSMA LAN, and the four
+container roles:
+
+* **tserver** — Apache-analogue HTTP, Nginx-RTMP-analogue streaming, and
+  the customised FTP server;
+* **dev-i** — a vulnerable telnet daemon (weak Mirai-dictionary login)
+  plus a benign client profile mixing HTTP/FTP/RTMP sessions;
+* **attacker** — CNC server, Mirai scanner, and loader;
+* **ids** — a promiscuous tap on the LAN (captures feed the IDS unit).
+
+Phases mirror the paper: :meth:`Testbed.infect_all` runs the
+scan→crack→load lifecycle until the botnet is assembled, then
+:meth:`Testbed.capture` records a labelled
+:class:`~repro.capture.dataset.TrafficDataset` while benign traffic and
+scheduled flood phases run concurrently.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps import (
+    DeviceProfile,
+    DnsServer,
+    FtpServer,
+    HttpServer,
+    NtpServer,
+    RtmpServer,
+    TrafficMix,
+    UdpChatter,
+)
+from repro.botnet import CncServer, Loader, MiraiBot, MiraiScanner
+from repro.botnet.credentials import random_credential
+from repro.botnet.telnet import VulnerableTelnet
+from repro.capture import TrafficDataset
+from repro.containers import Container, Image, Orchestrator
+from repro.sim import CsmaLan, PacketProbe, Simulator
+from repro.sim.tracing import PcapWriter
+from repro.testbed.scenario import AttackPhase, Scenario
+
+
+class TestbedError(RuntimeError):
+    """Raised when a phase cannot complete (e.g. infection stalls)."""
+
+
+class Testbed:
+    """The assembled DDoShield-IoT instance."""
+
+    __test__ = False  # "Test" prefix is the product name, not a pytest class
+
+    def __init__(self, scenario: Scenario | None = None) -> None:
+        self.scenario = scenario or Scenario()
+        self.sim = Simulator()
+        self.lan = CsmaLan(
+            self.sim,
+            subnet=self.scenario.subnet,
+            data_rate=self.scenario.data_rate,
+            delay=self.scenario.channel_delay,
+        )
+        self.orchestrator = Orchestrator(self.sim, self.lan)
+        self.tserver: Container | None = None
+        self.attacker: Container | None = None
+        self.devices: list[Container] = []
+        self.http: HttpServer | None = None
+        self.ftp: FtpServer | None = None
+        self.rtmp: RtmpServer | None = None
+        self.cnc: CncServer | None = None
+        self.loader: Loader | None = None
+        self.scanner: MiraiScanner | None = None
+        self.telnets: list[VulnerableTelnet] = []
+        self.profiles: list[DeviceProfile] = []
+        self.bots: list[MiraiBot] = []
+        self._rng = random.Random(self.scenario.seed)
+        self._built = False
+        self._churn_offline: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Assembly
+
+    def build(self) -> "Testbed":
+        """Create and start every container of Figure 1."""
+        if self._built:
+            return self
+        scenario = self.scenario
+        self.tserver = self.orchestrator.run("tserver", Image("ddoshield/tserver"))
+        self.http = self.tserver.exec(HttpServer(seed=scenario.seed + 100))
+        self.ftp = self.tserver.exec(FtpServer(seed=scenario.seed + 200))
+        self.rtmp = self.tserver.exec(
+            RtmpServer(bitrate_bps=scenario.rtmp_bitrate_bps)
+        )
+        self.dns = self.tserver.exec(DnsServer())
+        self.ntp = self.tserver.exec(NtpServer())
+        self.tserver.node.tcp.seed(scenario.seed + 1)
+
+        self.attacker = self.orchestrator.run("attacker", Image("ddoshield/attacker"))
+        self.attacker.node.tcp.seed(scenario.seed + 2)
+        self.cnc = self.attacker.exec(CncServer(port=scenario.cnc_port))
+        self.loader = Loader(on_loaded=None)
+        self.attacker.exec(self.loader)
+        self.scanner = self.attacker.exec(
+            MiraiScanner(
+                on_credentials_found=self._on_credentials_found,
+                seed=scenario.seed + 3,
+            )
+        )
+        self.scanner.exclude(self.tserver.node.address)
+
+        mix = TrafficMix(
+            http_weight=scenario.http_weight,
+            ftp_weight=scenario.ftp_weight,
+            rtmp_weight=scenario.rtmp_weight,
+            mean_session_interval=scenario.mean_session_interval,
+        )
+        for i in range(scenario.n_devices):
+            dev = self.orchestrator.run(f"dev-{i}", Image("ddoshield/dev"))
+            dev.node.tcp.seed(scenario.seed + 10 + i)
+            user, password = random_credential(scenario.seed * 1000 + i)
+            telnet = VulnerableTelnet(
+                user, password, on_infected=self._make_infection_hook(dev, i)
+            )
+            dev.exec(telnet)
+            profile = DeviceProfile(
+                self.tserver.node.address,
+                self.http.page_names(),
+                self.ftp.file_names(),
+                mix=mix,
+                seed=scenario.seed * 100 + i,
+                start_delay=self._rng.uniform(0.0, scenario.mean_session_interval),
+                rtmp_duration=(scenario.rtmp_min_duration, scenario.rtmp_max_duration),
+            )
+            dev.exec(profile)
+            dev.exec(
+                UdpChatter(
+                    self.tserver.node.address,
+                    mean_dns_interval=scenario.mean_dns_interval,
+                    seed=scenario.seed * 77 + i,
+                    start_delay=self._rng.uniform(0.0, 1.0),
+                )
+            )
+            self.devices.append(dev)
+            self.telnets.append(telnet)
+            self.profiles.append(profile)
+        self._built = True
+        return self
+
+    def _on_credentials_found(self, target, username, password) -> None:
+        assert self.loader is not None
+        self.loader.infect(target, username, password)
+
+    def _make_infection_hook(self, dev: Container, index: int):
+        def on_infected(telnet: VulnerableTelnet) -> None:
+            assert self.attacker is not None
+            bot = MiraiBot(
+                self.attacker.node.address,
+                cnc_port=self.scenario.cnc_port,
+                seed=self.scenario.seed * 10 + index,
+                self_propagate=self.scenario.self_propagate,
+                propagation_targets=[d.node.address for d in self.devices],
+                report_credentials=self._on_credentials_found
+                if self.scenario.self_propagate
+                else None,
+            )
+            dev.exec(bot)
+            self.bots.append(bot)
+
+        return on_infected
+
+    # ------------------------------------------------------------------
+    # Phases
+
+    def infect_all(self, max_time: float = 600.0) -> float:
+        """Run the scan→load lifecycle until every Dev hosts a bot.
+
+        Returns the virtual time the infection took.
+        """
+        if not self._built:
+            self.build()
+        assert self.scanner is not None and self.cnc is not None
+        start = self.sim.now
+        self.scanner.scan([d.node.address for d in self.devices])
+        deadline = start + max_time
+        step = 5.0
+        while self.sim.now < deadline:
+            self.sim.run(until=min(self.sim.now + step, deadline))
+            if self.cnc.bot_count >= self.scenario.n_devices:
+                return self.sim.now - start
+        raise TestbedError(
+            f"infection incomplete after {max_time}s: "
+            f"{self.cnc.bot_count}/{self.scenario.n_devices} bots registered"
+        )
+
+    def capture(
+        self,
+        duration: float,
+        attack_phases: list[AttackPhase] | None = None,
+        pcap_path: str | None = None,
+        rebase_timestamps: bool = False,
+    ) -> TrafficDataset:
+        """Record a labelled capture while attacks fire per the schedule.
+
+        By default timestamps are the testbed's continuing virtual clock,
+        exactly as in the paper where the real-time detection run happens
+        *after* the dataset-generation run on the same testbed — so live
+        timestamps lie beyond the training capture's range.  Pass
+        ``rebase_timestamps=True`` to shift a capture to start at t=0.
+        """
+        if not self._built:
+            self.build()
+        assert self.cnc is not None and self.tserver is not None
+        pcap = PcapWriter(pcap_path) if pcap_path else None
+        probe = PacketProbe(pcap=pcap)
+        self.lan.add_probe(probe)
+        base = self.sim.now
+        for phase in attack_phases or []:
+            self.sim.schedule(
+                phase.start,
+                self.cnc.launch_attack,
+                phase.kind,
+                self.tserver.node.address,
+                phase.target_port,
+                phase.duration,
+                phase.pps_per_bot,
+            )
+        if self.scenario.churn_interval > 0:
+            self._schedule_churn(base + duration)
+        self.sim.run(until=base + duration)
+        self.lan.channel.remove_probe(probe)
+        if pcap is not None:
+            pcap.close()
+        if rebase_timestamps:
+            return TrafficDataset([_rebase(r, base) for r in probe.records])
+        return TrafficDataset(list(probe.records))
+
+    # ------------------------------------------------------------------
+    # Churn
+
+    def _schedule_churn(self, until: float) -> None:
+        delay = self._rng.expovariate(1.0 / self.scenario.churn_interval)
+        if self.sim.now + delay >= until:
+            return
+        self.sim.schedule(delay, self._churn_once, until)
+
+    def _churn_once(self, until: float) -> None:
+        candidates = [
+            i for i in range(len(self.devices)) if i not in self._churn_offline
+        ]
+        if candidates:
+            index = self._rng.choice(candidates)
+            device = self.devices[index].node.interfaces[0].device
+            device.detach()
+            self._churn_offline.add(index)
+            self.sim.schedule(
+                self.scenario.churn_downtime, self._churn_rejoin, index
+            )
+        self._schedule_churn(until)
+
+    def _churn_rejoin(self, index: int) -> None:
+        device = self.devices[index].node.interfaces[0].device
+        self.lan.channel.attach(device)
+        self._churn_offline.discard(index)
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def bot_count(self) -> int:
+        return self.cnc.bot_count if self.cnc is not None else 0
+
+    def component_inventory(self) -> dict[str, list[str]]:
+        """Names of the live processes per container (Figure 1 check)."""
+        inventory: dict[str, list[str]] = {}
+        for name, container in self.orchestrator.containers.items():
+            inventory[name] = [p.name for p in container.processes if p.running]
+        return inventory
+
+
+def _rebase(record, base: float):
+    from dataclasses import replace
+
+    return replace(record, timestamp=record.timestamp - base)

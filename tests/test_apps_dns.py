@@ -1,0 +1,70 @@
+"""Tests for benign UDP chatter (DNS/NTP)."""
+
+import pytest
+
+from repro.apps import DnsServer, NtpServer, UdpChatter
+from repro.containers import Image, Orchestrator
+from repro.sim import CsmaLan, PacketProbe, Simulator
+
+
+@pytest.fixture()
+def env():
+    sim = Simulator()
+    lan = CsmaLan(sim)
+    orch = Orchestrator(sim, lan)
+    tserver = orch.run("tserver", Image("ts"))
+    dev = orch.run("dev", Image("dev"))
+    return sim, lan, tserver, dev
+
+
+def test_dns_query_answered(env):
+    sim, lan, tserver, dev = env
+    dns = tserver.exec(DnsServer())
+    chatter = dev.exec(
+        UdpChatter(tserver.node.address, mean_dns_interval=0.5, seed=1)
+    )
+    sim.run(until=20.0)
+    assert dns.queries_answered > 10
+    assert chatter.responses_received > 10
+
+
+def test_ntp_sync_answered(env):
+    sim, lan, tserver, dev = env
+    ntp = tserver.exec(NtpServer())
+    chatter = dev.exec(
+        UdpChatter(tserver.node.address, mean_dns_interval=1e9, mean_ntp_interval=2.0, seed=2)
+    )
+    sim.run(until=30.0)
+    assert ntp.requests_answered >= 5
+
+
+def test_chatter_traffic_is_benign_udp(env):
+    sim, lan, tserver, dev = env
+    probe = lan.add_probe(PacketProbe())
+    tserver.exec(DnsServer())
+    tserver.exec(NtpServer())
+    dev.exec(UdpChatter(tserver.node.address, mean_dns_interval=0.5, seed=3))
+    sim.run(until=10.0)
+    assert probe.count > 5
+    assert all(r.label == 0 for r in probe.records)
+    assert all(r.is_udp for r in probe.records)
+    dports = {r.dst_port for r in probe.records}
+    assert 53 in dports
+
+
+def test_chatter_stop_halts_queries(env):
+    sim, lan, tserver, dev = env
+    tserver.exec(DnsServer())
+    chatter = dev.exec(UdpChatter(tserver.node.address, mean_dns_interval=0.2, seed=4))
+    sim.run(until=5.0)
+    count = chatter.queries_sent
+    chatter.stop()
+    sim.run(until=20.0)
+    assert chatter.queries_sent == count
+
+
+def test_deterministic_by_seed(env):
+    sim, lan, tserver, dev = env
+    a = UdpChatter(tserver.node.address, seed=5)
+    b = UdpChatter(tserver.node.address, seed=5)
+    assert a.rng.random() == b.rng.random()

@@ -1,0 +1,376 @@
+"""Tests for the Mirai emulation: telnet, scanner, loader, CNC, bot, floods."""
+
+import pytest
+
+from repro.botnet import (
+    AckFlood,
+    CncServer,
+    Loader,
+    MIRAI_CREDENTIALS,
+    MiraiBot,
+    MiraiScanner,
+    SynFlood,
+    UdpFlood,
+    VulnerableTelnet,
+    make_attack,
+)
+from repro.botnet.cnc import AttackOrder
+from repro.botnet.credentials import credential_index, random_credential
+from repro.containers import Image, Orchestrator
+from repro.sim import CsmaLan, PacketProbe, Simulator
+
+
+@pytest.fixture()
+def env():
+    sim = Simulator()
+    lan = CsmaLan(sim)
+    orch = Orchestrator(sim, lan)
+    return sim, lan, orch
+
+
+def make_device(orch, name, user="root", password="xc3511", on_infected=None):
+    dev = orch.run(name, Image("dev"))
+    telnet = dev.exec(VulnerableTelnet(user, password, on_infected=on_infected))
+    return dev, telnet
+
+
+class TestCredentials:
+    def test_dictionary_is_nonempty_and_unique(self):
+        assert len(MIRAI_CREDENTIALS) >= 50
+        assert len(set(MIRAI_CREDENTIALS)) == len(MIRAI_CREDENTIALS)
+
+    def test_classic_entries_present(self):
+        assert ("root", "xc3511") in MIRAI_CREDENTIALS
+        assert ("admin", "admin") in MIRAI_CREDENTIALS
+
+    def test_random_credential_deterministic(self):
+        assert random_credential(3) == random_credential(3)
+        assert random_credential(3) in MIRAI_CREDENTIALS
+
+    def test_credential_index(self):
+        assert credential_index(("root", "xc3511")) == 0
+        assert credential_index(("nope", "nope")) == -1
+
+
+class TestTelnet:
+    def drive(self, env, lines, user="root", password="xc3511"):
+        """Connect and send ``lines`` one per server response; return replies."""
+        sim, lan, orch = env
+        dev, telnet = make_device(orch, "dev", user, password)
+        client = orch.run("client", Image("c"))
+        replies = []
+        queue = list(lines)
+        sock = client.node.tcp.socket()
+
+        def on_data(s, payload, length, app_data):
+            replies.append(payload.decode("ascii", errors="replace"))
+            if queue:
+                s.send(queue.pop(0).encode("ascii") + b"\r\n")
+
+        sock.on_data = on_data
+        sock.connect(dev.node.address, 23)
+        sim.run(until=30.0)
+        return telnet, replies
+
+    def test_successful_login(self, env):
+        telnet, replies = self.drive(env, ["root", "xc3511"])
+        assert telnet.successful_logins == 1
+        assert any("shell" in r for r in replies)
+
+    def test_wrong_password_reprompts(self, env):
+        telnet, replies = self.drive(env, ["root", "wrong", "root", "xc3511"])
+        assert telnet.successful_logins == 1
+        assert any("Login incorrect" in r for r in replies)
+
+    def test_three_failures_disconnects(self, env):
+        telnet, replies = self.drive(
+            env, ["a", "b", "c", "d", "e", "f", "never", "sent"]
+        )
+        assert telnet.successful_logins == 0
+        assert telnet.login_attempts == 3
+
+    def test_shell_commands(self, env):
+        telnet, replies = self.drive(env, ["root", "xc3511", "ps", "exit"])
+        assert any("telnet" in r for r in replies)
+        assert any("logout" in r for r in replies)
+
+    def test_unknown_command(self, env):
+        telnet, replies = self.drive(env, ["root", "xc3511", "rm -rf /"])
+        assert any("not found" in r for r in replies)
+
+
+class TestScanner:
+    def test_cracks_device_with_dictionary_credential(self, env):
+        sim, lan, orch = env
+        dev, _ = make_device(orch, "dev", "admin", "admin")
+        attacker = orch.run("attacker", Image("atk"))
+        found = []
+        scanner = attacker.exec(
+            MiraiScanner(lambda t, u, p: found.append((t, u, p)), seed=1)
+        )
+        scanner.scan([dev.node.address])
+        sim.run(until=120.0)
+        assert found == [(dev.node.address, "admin", "admin")]
+        assert scanner.hosts_cracked == 1
+
+    def test_gives_up_on_strong_credentials(self, env):
+        sim, lan, orch = env
+        dev, _ = make_device(orch, "dev", "root", "Tr0ub4dor&3")
+        attacker = orch.run("attacker", Image("atk"))
+        found = []
+        scanner = attacker.exec(
+            MiraiScanner(lambda t, u, p: found.append(t), seed=1)
+        )
+        scanner.scan([dev.node.address])
+        sim.run(until=600.0)
+        assert found == []
+        assert scanner.hosts_scanned == 1
+        assert scanner.connections_opened >= len(MIRAI_CREDENTIALS) // 3
+
+    def test_dead_host_times_out(self, env):
+        sim, lan, orch = env
+        attacker = orch.run("attacker", Image("atk"))
+        done = []
+        scanner = attacker.exec(
+            MiraiScanner(lambda t, u, p: None, seed=1, on_complete=lambda: done.append(1))
+        )
+        lan.network.allocate()  # address with no host behind it
+        from repro.sim.address import Ipv4Address
+
+        scanner.scan([Ipv4Address.parse("10.0.0.200")])
+        sim.run(until=60.0)
+        assert done
+        assert scanner.hosts_cracked == 0
+
+    def test_excluded_addresses_skipped(self, env):
+        sim, lan, orch = env
+        dev, _ = make_device(orch, "dev")
+        attacker = orch.run("attacker", Image("atk"))
+        scanner = attacker.exec(MiraiScanner(lambda t, u, p: None, seed=1))
+        scanner.exclude(dev.node.address)
+        scanner.scan([dev.node.address])
+        sim.run(until=60.0)
+        assert scanner.connections_opened == 0
+
+    def test_scan_traffic_labeled_malicious(self, env):
+        sim, lan, orch = env
+        probe = lan.add_probe(PacketProbe())
+        dev, _ = make_device(orch, "dev")
+        attacker = orch.run("attacker", Image("atk"))
+        scanner = attacker.exec(MiraiScanner(lambda t, u, p: None, seed=1))
+        scanner.scan([dev.node.address])
+        sim.run(until=60.0)
+        scan_packets = [r for r in probe.records if r.attack == "scan"]
+        assert scan_packets
+        assert all(r.label == 1 for r in scan_packets)
+
+    def test_multiple_devices_all_scanned(self, env):
+        sim, lan, orch = env
+        devices = [make_device(orch, f"dev{i}")[0] for i in range(4)]
+        attacker = orch.run("attacker", Image("atk"))
+        found = []
+        scanner = attacker.exec(
+            MiraiScanner(lambda t, u, p: found.append(t.value), seed=2, concurrency=2)
+        )
+        scanner.scan([d.node.address for d in devices])
+        sim.run(until=300.0)
+        assert sorted(found) == sorted(d.node.address.value for d in devices)
+
+
+class TestLoaderAndBot:
+    def build_botnet(self, env, n_devices=2, cnc_port=2323):
+        """Full lifecycle: scan -> load -> infect -> register."""
+        sim, lan, orch = env
+        attacker = orch.run("attacker", Image("atk"))
+        cnc = attacker.exec(CncServer(port=cnc_port))
+        loader = attacker.exec(Loader())
+        devices = []
+        for i in range(n_devices):
+            holder = {}
+
+            def on_infected(telnet, holder=holder):
+                bot = MiraiBot(attacker.node.address, cnc_port=cnc_port, seed=i)
+                telnet.container.exec(bot)
+                holder["bot"] = bot
+
+            dev, telnet = make_device(orch, f"dev{i}", on_infected=on_infected)
+            devices.append((dev, telnet, holder))
+        scanner = attacker.exec(
+            MiraiScanner(lambda t, u, p: loader.infect(t, u, p), seed=3)
+        )
+        scanner.scan([d.node.address for d, _, _ in devices])
+        sim.run(until=300.0)
+        return sim, lan, orch, attacker, cnc, loader, devices
+
+    def test_loader_completes_infection(self, env):
+        sim, _, _, _, cnc, loader, devices = self.build_botnet(env)
+        assert loader.infections_completed == len(devices)
+        assert all(t.infected for _, t, _ in devices)
+
+    def test_bots_register_with_cnc(self, env):
+        sim, _, _, _, cnc, loader, devices = self.build_botnet(env)
+        assert cnc.bot_count == len(devices)
+        assert all(h["bot"].registered for _, _, h in devices)
+
+    def test_loader_idempotent(self, env):
+        sim, _, _, _, cnc, loader, devices = self.build_botnet(env, n_devices=1)
+        dev = devices[0][0]
+        loader.infect(dev.node.address, "root", "xc3511")
+        sim.run(until=400.0)
+        assert loader.infections_started == 1
+
+    def test_attack_order_roundtrip(self):
+        from repro.sim.address import Ipv4Address
+
+        order = AttackOrder("syn", Ipv4Address.parse("10.0.0.9"), 80, 5.0, 250.0)
+        assert AttackOrder.decode(order.encode().decode().strip()) == order
+
+    def test_malformed_order_rejected(self):
+        with pytest.raises(ValueError):
+            AttackOrder.decode("ATTACK syn")
+
+    def test_cnc_launch_reaches_bots_and_floods(self, env):
+        sim, lan, orch, attacker, cnc, loader, devices = self.build_botnet(env)
+        probe = lan.add_probe(PacketProbe())
+        tserver = orch.run("tserver", Image("ts"))
+        tserver.node.tcp.listen(80, lambda s: None)
+        cnc.launch_attack("syn", tserver.node.address, 80, duration=3.0, pps=100)
+        sim.run(until=sim.now + 10.0)
+        syn_packets = [r for r in probe.records if r.attack == "syn_flood"]
+        # two bots at 100 pps for 3 s
+        assert len(syn_packets) == pytest.approx(600, rel=0.05)
+        assert all(r.label == 1 for r in syn_packets)
+
+    def test_keepalive_pings(self, env):
+        sim, _, _, _, cnc, loader, devices = self.build_botnet(env, n_devices=1)
+        sim.run(until=sim.now + 120.0)
+        assert cnc.pings_received >= 3
+
+    def test_bot_reconnects_after_cnc_restart(self, env):
+        sim, _, _, attacker, cnc, loader, devices = self.build_botnet(env, n_devices=1)
+        bot = devices[0][2]["bot"]
+        # kill the C2 connection server-side
+        for sock in list(cnc.bots.values()):
+            sock.abort()
+        sim.run(until=sim.now + 60.0)
+        assert bot.registered
+        assert cnc.bot_count == 1
+
+
+class TestAttackModules:
+    def setup_flood(self, env, cls, **kwargs):
+        sim, lan, orch = env
+        bot = orch.run("bot", Image("bot"))
+        victim = orch.run("victim", Image("v"))
+        victim.node.tcp.listen(80, lambda s: None, backlog=32)
+        probe = lan.add_probe(PacketProbe())
+        attack = cls(
+            bot.node, sim, victim.node.address, 80, pps=200, duration=2.0, seed=1, **kwargs
+        )
+        return sim, probe, victim, attack
+
+    def test_syn_flood_rate_and_spoofing(self, env):
+        sim, probe, victim, attack = self.setup_flood(env, SynFlood)
+        attack.start()
+        sim.run(until=5.0)
+        syns = [r for r in probe.records if r.attack == "syn_flood"]
+        assert len(syns) == pytest.approx(400, rel=0.05)
+        sources = {r.src_ip for r in syns}
+        assert len(sources) > 100  # spoofed
+        assert len({r.src_port for r in syns}) > 100
+
+    def test_syn_flood_fills_backlog(self, env):
+        sim, probe, victim, attack = self.setup_flood(env, SynFlood)
+        listener = victim.node.tcp.listeners[80]
+        attack.start()
+        sim.run(until=1.0)
+        assert len(listener.half_open) == 32
+        assert listener.syn_dropped > 0
+
+    def test_ack_flood_draws_rsts(self, env):
+        sim, probe, victim, attack = self.setup_flood(env, AckFlood)
+        attack.start()
+        sim.run(until=5.0)
+        acks = [r for r in probe.records if r.attack == "ack_flood"]
+        assert len(acks) == pytest.approx(400, rel=0.05)
+        assert victim.node.tcp.rst_sent == len(acks)
+
+    def test_udp_flood_randomizes_ports(self, env):
+        sim, probe, victim, attack = self.setup_flood(env, UdpFlood)
+        attack.start()
+        sim.run(until=5.0)
+        udps = [r for r in probe.records if r.attack == "udp_flood"]
+        assert len(udps) == pytest.approx(400, rel=0.05)
+        assert len({r.dst_port for r in udps}) > 100
+        assert victim.node.udp.unreachable > 0
+
+    def test_stop_halts_flood(self, env):
+        sim, probe, victim, attack = self.setup_flood(env, UdpFlood)
+        attack.start()
+        sim.run(until=0.5)
+        attack.stop()
+        count = attack.packets_sent
+        sim.run(until=5.0)
+        assert attack.packets_sent == count
+
+    def test_make_attack_factory(self, env):
+        sim, lan, orch = env
+        bot = orch.run("bot", Image("b"))
+        from repro.sim.address import Ipv4Address
+
+        target = Ipv4Address.parse("10.0.0.99")
+        for kind, cls in (("syn", SynFlood), ("ack", AckFlood), ("udp", UdpFlood)):
+            assert isinstance(
+                make_attack(kind, bot.node, sim, target, 80, 10, 1), cls
+            )
+        with pytest.raises(ValueError):
+            make_attack("slowloris", bot.node, sim, target, 80, 10, 1)
+
+    def test_fractional_pps_accumulates(self, env):
+        sim, lan, orch = env
+        bot = orch.run("bot", Image("b"))
+        victim = orch.run("victim", Image("v"))
+        attack = UdpFlood(bot.node, sim, victim.node.address, 80, pps=7, duration=10.0, seed=2)
+        attack.start()
+        sim.run(until=20.0)
+        assert attack.packets_sent == pytest.approx(70, abs=2)
+
+
+class TestPropagation:
+    def test_worm_spreads_through_fleet(self, env):
+        """One seed infection propagates to the whole device fleet."""
+        sim, lan, orch = env
+        attacker = orch.run("attacker", Image("atk"))
+        cnc = attacker.exec(CncServer(port=2323))
+        loader = attacker.exec(Loader())
+        fleet = []
+        all_addresses = []
+
+        def report(target, user, password):
+            loader.infect(target, user, password)
+
+        def make_on_infected(index):
+            def on_infected(telnet):
+                bot = MiraiBot(
+                    attacker.node.address,
+                    cnc_port=2323,
+                    seed=index,
+                    self_propagate=True,
+                    propagation_targets=list(all_addresses),
+                    report_credentials=report,
+                )
+                telnet.container.exec(bot)
+
+            return on_infected
+
+        for i in range(4):
+            dev, telnet = make_device(orch, f"dev{i}", on_infected=make_on_infected(i))
+            fleet.append((dev, telnet))
+            all_addresses.append(dev.node.address)
+
+        # Seed: attacker scans only the first device; bots do the rest.
+        scanner = attacker.exec(MiraiScanner(report, seed=9))
+        scanner.scan([all_addresses[0]])
+        sim.run(until=900.0)
+        assert all(t.infected for _, t in fleet)
+        assert cnc.bot_count == 4

@@ -1,0 +1,136 @@
+"""Tests for the extended Mirai attack modules (GRE/VSE/DNS/HTTP floods)."""
+
+import pytest
+
+from repro.apps import DnsServer, HttpServer
+from repro.botnet import DnsFlood, GreFlood, HttpFlood, VseFlood, make_attack
+from repro.botnet.attacks_extra import PROTO_GRE, VSE_PAYLOAD, VSE_PORT
+from repro.containers import Image, Orchestrator
+from repro.sim import CsmaLan, PacketProbe, Simulator
+
+
+@pytest.fixture()
+def env():
+    sim = Simulator()
+    lan = CsmaLan(sim)
+    orch = Orchestrator(sim, lan)
+    bot = orch.run("bot", Image("bot"))
+    victim = orch.run("victim", Image("victim"))
+    probe = lan.add_probe(PacketProbe())
+    return sim, bot, victim, probe
+
+
+class TestGreFlood:
+    def test_sends_raw_gre_at_rate(self, env):
+        sim, bot, victim, probe = env
+        attack = GreFlood(bot.node, sim, victim.node.address, 0, pps=100, duration=2.0, seed=1)
+        attack.start()
+        sim.run(until=5.0)
+        gre = [r for r in probe.records if r.protocol == PROTO_GRE]
+        assert len(gre) == pytest.approx(200, rel=0.05)
+        assert all(r.attack == "gre_flood" and r.label == 1 for r in gre)
+        assert all(r.src_port == 0 and r.dst_port == 0 for r in gre)
+
+    def test_payload_contributes_to_size(self, env):
+        sim, bot, victim, probe = env
+        attack = GreFlood(bot.node, sim, victim.node.address, 0, pps=10, duration=1.0,
+                          seed=1, payload_bytes=700)
+        attack.start()
+        sim.run(until=3.0)
+        assert all(r.size > 700 for r in probe.records)
+
+
+class TestVseFlood:
+    def test_targets_source_engine_port_with_magic(self, env):
+        sim, bot, victim, probe = env
+        seen_payloads = []
+        sock = victim.node.udp.bind(VSE_PORT)
+        sock.on_receive = lambda s, p, n, src, sp: seen_payloads.append(p)
+        attack = VseFlood(bot.node, sim, victim.node.address, VSE_PORT, pps=50, duration=2.0, seed=2)
+        attack.start()
+        sim.run(until=5.0)
+        assert len(seen_payloads) == pytest.approx(100, rel=0.05)
+        assert all(p == VSE_PAYLOAD for p in seen_payloads)
+
+
+class TestDnsFlood:
+    def test_water_torture_unique_subdomains(self, env):
+        sim, bot, victim, probe = env
+        dns = victim.exec(DnsServer())
+        attack = DnsFlood(bot.node, sim, victim.node.address, 53, pps=80, duration=2.0, seed=3)
+        attack.start()
+        sim.run(until=5.0)
+        queries = [r for r in probe.records if r.dst_port == 53 and r.label == 1]
+        assert len(queries) == pytest.approx(160, rel=0.05)
+        # the resolver is forced to answer every query (cache-busting)
+        assert dns.queries_answered == len(queries)
+
+    def test_amplification_effect(self, env):
+        """Responses are larger than queries: benign-labelled amplification."""
+        sim, bot, victim, probe = env
+        victim.exec(DnsServer(response_bytes=200))
+        attack = DnsFlood(bot.node, sim, victim.node.address, 53, pps=40, duration=1.0, seed=4)
+        attack.start()
+        sim.run(until=4.0)
+        answers = [r for r in probe.records if r.src_port == 53]
+        queries = [r for r in probe.records if r.dst_port == 53]
+        assert answers
+        assert sum(r.size for r in answers) > sum(r.size for r in queries)
+
+
+class TestHttpFlood:
+    def test_establishes_connections_and_draws_responses(self, env):
+        sim, bot, victim, probe = env
+        server = victim.exec(HttpServer(n_pages=64, seed=5))
+        attack = HttpFlood(
+            bot.node, sim, victim.node.address, 80, pps=20, duration=4.0, seed=5,
+            pool_size=4,
+        )
+        attack.start()
+        sim.run(until=10.0)
+        # reconnect backoff means not every tick finds a writable socket
+        assert 30 <= attack.requests_sent <= 90
+        assert server.requests_served + server.not_found > 20
+        # request packets are malicious; the server's responses are not
+        flood_packets = [r for r in probe.records if r.attack == "http_flood"]
+        assert flood_packets
+        assert all(r.dst_port == 80 for r in flood_packets if r.is_tcp and not r.is_ack or True)
+
+    def test_stop_aborts_pool(self, env):
+        sim, bot, victim, probe = env
+        victim.exec(HttpServer())
+        attack = HttpFlood(bot.node, sim, victim.node.address, 80, pps=20, duration=60.0, seed=6)
+        attack.start()
+        sim.run(until=2.0)
+        attack.stop()
+        assert attack._sockets == []
+        count = attack.requests_sent
+        sim.run(until=10.0)
+        assert attack.requests_sent == count
+
+    def test_survives_server_resets(self, env):
+        """Connections refused (no server) keep being retried, not crash."""
+        sim, bot, victim, probe = env
+        attack = HttpFlood(bot.node, sim, victim.node.address, 80, pps=20, duration=3.0, seed=7)
+        attack.start()
+        sim.run(until=6.0)
+        assert attack.requests_sent == 0  # nothing writable, but no errors
+
+
+class TestFactoryRegistration:
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [("gre", GreFlood), ("vse", VseFlood), ("dns", DnsFlood), ("http", HttpFlood)],
+    )
+    def test_make_attack_knows_extended_vectors(self, env, kind, cls):
+        sim, bot, victim, probe = env
+        attack = make_attack(kind, bot.node, sim, victim.node.address, 80, 10, 1.0)
+        assert isinstance(attack, cls)
+
+    def test_cnc_can_order_extended_attacks(self, env):
+        """Bots execute extended vectors via the same C2 order format."""
+        from repro.botnet.cnc import AttackOrder
+
+        order = AttackOrder("gre", env[2].node.address, 0, 2.0, 50.0)
+        decoded = AttackOrder.decode(order.encode().decode().strip())
+        assert decoded.kind == "gre"

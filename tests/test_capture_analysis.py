@@ -1,0 +1,146 @@
+"""Tests for capture analytics: flows, talkers, rates, attack intervals."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.capture import (
+    aggregate_flows,
+    analyze,
+    attack_intervals,
+    rate_series,
+    top_talkers,
+)
+from repro.sim.packet import PROTO_TCP, TcpFlags
+from repro.sim.tracing import PacketRecord
+
+
+def record(ts=0.0, src=1, dst=2, sport=100, dport=80, size=60, flags=int(TcpFlags.ACK),
+           label=0, attack=None):
+    return PacketRecord(ts, src, dst, PROTO_TCP, sport, dport, size, flags, 0, label, attack)
+
+
+class TestAggregateFlows:
+    def test_groups_by_five_tuple(self):
+        records = [
+            record(0.0, src=1, sport=100),
+            record(0.5, src=1, sport=100),
+            record(1.0, src=1, sport=200),  # different flow
+        ]
+        flows = aggregate_flows(records)
+        assert len(flows) == 2
+        key = (1, 100, 2, 80, PROTO_TCP)
+        assert flows[key].packets == 2
+        assert flows[key].payload_bytes == 120
+
+    def test_flow_duration_and_flags(self):
+        records = [
+            record(1.0, flags=int(TcpFlags.SYN)),
+            record(3.5, flags=int(TcpFlags.FIN | TcpFlags.ACK)),
+        ]
+        (flow,) = aggregate_flows(records).values()
+        assert flow.duration == pytest.approx(2.5)
+        assert flow.syn_count == 1
+        assert flow.fin_count == 1
+
+    def test_majority_label_verdict(self):
+        records = [record(label=1), record(label=1), record(label=0)]
+        (flow,) = aggregate_flows(records).values()
+        assert flow.is_malicious
+        records = [record(label=1), record(label=0)]
+        (flow,) = aggregate_flows(records).values()
+        assert not flow.is_malicious  # tie is benign
+
+    def test_empty(self):
+        assert aggregate_flows([]) == {}
+
+    @given(st.lists(st.integers(0, 4), min_size=1, max_size=60))
+    def test_property_packet_conservation(self, sources):
+        records = [record(ts=i * 0.01, src=s) for i, s in enumerate(sources)]
+        flows = aggregate_flows(records)
+        assert sum(f.packets for f in flows.values()) == len(records)
+
+
+class TestTopTalkers:
+    def test_ranked_by_packets(self):
+        records = [record(src=9)] * 5 + [record(src=4)] * 2
+        assert top_talkers(records, n=2) == [(9, 5), (4, 2)]
+
+    def test_ranked_by_bytes(self):
+        records = [record(src=9, size=10)] * 5 + [record(src=4, size=1000)]
+        assert top_talkers(records, n=1, by="bytes") == [(4, 1000)]
+
+    def test_invalid_ranking_rejected(self):
+        with pytest.raises(ValueError):
+            top_talkers([], by="fame")
+
+
+class TestRateSeries:
+    def test_per_interval_class_counts(self):
+        records = [
+            record(0.2, label=0),
+            record(0.8, label=1),
+            record(2.5, label=0),
+        ]
+        series = rate_series(records, 1.0)
+        assert series == [(0.0, 1, 1), (2.0, 1, 0)]
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            rate_series([], 0.0)
+
+
+class TestAttackIntervals:
+    def test_single_burst(self):
+        records = [record(t, label=1, attack="syn_flood") for t in (5.0, 5.5, 6.0)]
+        (interval,) = attack_intervals(records)
+        assert interval.attack == "syn_flood"
+        assert interval.start == 5.0
+        assert interval.end == 6.0
+        assert interval.packets == 3
+        assert interval.duration == pytest.approx(1.0)
+
+    def test_gap_splits_bursts(self):
+        times = [1.0, 1.5, 10.0, 10.5]
+        records = [record(t, label=1, attack="udp_flood") for t in times]
+        intervals = attack_intervals(records, gap=2.0)
+        assert len(intervals) == 2
+        assert intervals[0].end == 1.5
+        assert intervals[1].start == 10.0
+
+    def test_multiple_attacks_sorted_by_start(self):
+        records = [record(8.0, label=1, attack="ack_flood"),
+                   record(2.0, label=1, attack="syn_flood")]
+        intervals = attack_intervals(records)
+        assert [i.attack for i in intervals] == ["syn_flood", "ack_flood"]
+
+    def test_benign_ignored(self):
+        assert attack_intervals([record(label=0)]) == []
+
+
+class TestAnalyze:
+    def test_report_counts_and_str(self):
+        records = [record(t, src=7, label=1, attack="udp_flood") for t in (0.0, 0.5)]
+        records += [record(1.0, src=3, sport=999)]
+        report = analyze(records)
+        assert report.n_flows == 2
+        assert report.n_malicious_flows == 1
+        assert report.talkers[0] == (7, 2)
+        text = str(report)
+        assert "udp_flood" in text
+        assert "flows: 2 (1 malicious)" in text
+
+    def test_on_real_testbed_capture(self):
+        """End-to-end: the forensic report matches a real capture's schedule."""
+        from repro.testbed import AttackPhase, Scenario, Testbed
+
+        scenario = Scenario(n_devices=2, seed=61)
+        testbed = Testbed(scenario).build()
+        testbed.infect_all()
+        phases = [AttackPhase(start=2.0, kind="udp", duration=3.0, pps_per_bot=60)]
+        capture = testbed.capture(8.0, phases, rebase_timestamps=True)
+        report = analyze(capture.records)
+        udp_spans = [i for i in report.intervals if i.attack == "udp_flood"]
+        assert len(udp_spans) == 1
+        assert udp_spans[0].start == pytest.approx(2.0, abs=0.3)
+        assert udp_spans[0].duration == pytest.approx(3.0, abs=0.5)
+        assert report.n_malicious_flows > 0

@@ -1,0 +1,60 @@
+"""Tests for the ddoshield CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment"])
+        assert args.devices == 6
+        assert args.train_duration == 60.0
+
+    def test_dataset_options(self):
+        args = build_parser().parse_args(
+            ["dataset", "--devices", "3", "--duration", "10", "--out", "x", "--pcap"]
+        )
+        assert args.devices == 3
+        assert args.duration == 10.0
+        assert args.pcap is True
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teardown"])
+
+
+class TestCommands:
+    def test_inventory_runs(self, capsys):
+        assert main(["inventory", "--devices", "2", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "tserver" in out
+        assert "mirai-bot" in out
+        assert "2 bots registered" in out
+
+    def test_dataset_writes_csv_and_pcap(self, tmp_path, capsys):
+        out = tmp_path / "ds"
+        code = main(
+            ["dataset", "--devices", "2", "--seed", "5", "--duration", "8",
+             "--out", str(out), "--pcap"]
+        )
+        assert code == 0
+        assert (out / "capture.csv").exists()
+        assert (out / "capture.pcap").exists()
+        text = capsys.readouterr().out
+        assert "malicious" in text
+
+    def test_experiment_prints_tables(self, capsys):
+        code = main(
+            ["experiment", "--devices", "3", "--seed", "5",
+             "--train-duration", "25", "--detect-duration", "12"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table II" in out
+        assert "RF" in out and "K-Means" in out and "CNN" in out

@@ -1,0 +1,227 @@
+"""Tests for the real-time IDS unit: monitor, engine, meter, report."""
+
+import numpy as np
+import pytest
+
+from repro.features import FeatureExtractor
+from repro.ids import RealTimeIds, ResourceMeter, TrafficMonitor
+from repro.ids.report import DetectionReport, WindowResult
+from repro.sim.packet import PROTO_TCP, TcpFlags
+from repro.sim.tracing import PacketRecord
+
+
+def record(ts, label=0, sport=40000, dport=80):
+    return PacketRecord(
+        timestamp=ts,
+        src_ip=1,
+        dst_ip=2,
+        protocol=PROTO_TCP,
+        src_port=sport,
+        dst_port=dport,
+        size=60,
+        tcp_flags=int(TcpFlags.ACK),
+        seq=100,
+        label=label,
+    )
+
+
+class RequireScaledModel:
+    """Asserts inputs look standardized (used by the scaler test)."""
+
+    def predict(self, X):
+        assert np.abs(X).max() < 100
+        return np.zeros(len(X), dtype=int)
+
+
+class ConstantModel:
+    """Predicts a fixed class for every packet."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def predict(self, X):
+        return np.full(len(X), self.value, dtype=int)
+
+
+class OracleModel:
+    """Uses a hidden lookup keyed by row order within each window."""
+
+    def __init__(self, labels_by_call):
+        self.labels_by_call = list(labels_by_call)
+        self.calls = 0
+
+    def predict(self, X):
+        labels = self.labels_by_call[self.calls]
+        self.calls += 1
+        return np.asarray(labels)
+
+
+def make_stream(seconds=4, per_window=10, malicious_windows=()):
+    records = []
+    for s in range(seconds):
+        label = 1 if s in malicious_windows else 0
+        for i in range(per_window):
+            records.append(record(s + i / (per_window + 1), label=label))
+    return records
+
+
+class TestTrafficMonitor:
+    def test_replay_forwards_in_order(self):
+        seen = []
+        monitor = TrafficMonitor(seen.append)
+        stream = make_stream(2)
+        monitor.replay(stream)
+        assert seen == stream
+        assert monitor.packets_seen == len(stream)
+
+    def test_live_attach(self):
+        from repro.sim.tracing import PacketProbe
+        from repro.sim.packet import EthernetHeader, Ipv4Header, Packet, TcpHeader
+        from repro.sim.address import Ipv4Address, MacAddress
+
+        seen = []
+        monitor = TrafficMonitor(seen.append)
+        probe = PacketProbe()
+        monitor.attach(probe)
+        packet = Packet(
+            eth=EthernetHeader(MacAddress(1), MacAddress(2)),
+            ip=Ipv4Header(Ipv4Address(1), Ipv4Address(2), PROTO_TCP),
+            tcp=TcpHeader(1, 2),
+        )
+        probe(packet, 0.5)
+        assert len(seen) == 1
+
+
+class TestRealTimeIds:
+    def test_perfect_model_scores_one(self):
+        ids = RealTimeIds(ConstantModel(0), "all-benign")
+        report = ids.process(make_stream(3))
+        assert report.mean_accuracy == 1.0
+        assert report.n_windows == 3
+
+    def test_wrong_model_scores_zero(self):
+        ids = RealTimeIds(ConstantModel(1), "all-malicious")
+        report = ids.process(make_stream(3))
+        assert report.mean_accuracy == 0.0
+
+    def test_mixed_windows(self):
+        ids = RealTimeIds(ConstantModel(0), "all-benign")
+        report = ids.process(make_stream(4, malicious_windows={1, 2}))
+        assert report.mean_accuracy == pytest.approx(0.5)
+        assert report.min_accuracy == 0.0
+
+    def test_window_results_populated(self):
+        ids = RealTimeIds(ConstantModel(1), "flagger")
+        report = ids.process(make_stream(2, per_window=5, malicious_windows={1}))
+        first, second = report.windows
+        assert first.n_packets == 5
+        assert first.n_malicious_true == 0
+        assert first.n_malicious_predicted == 5
+        assert second.accuracy == 1.0
+        assert second.is_pure_malicious
+        assert first.is_pure_benign
+
+    def test_alerts_recorded_for_flagged_windows(self):
+        ids = RealTimeIds(ConstantModel(1), "flagger")
+        ids.process(make_stream(2, per_window=3))
+        assert len(ids.alerts) == 2
+        assert ids.alerts[0][1] == 3
+
+    def test_sustainability_attached(self):
+        ids = RealTimeIds(ConstantModel(0), "m")
+        report = ids.process(make_stream(2))
+        assert report.sustainability is not None
+        assert report.sustainability.model_size_kb > 0
+        assert report.sustainability.cpu_percent >= 0
+
+    def test_per_model_scaler_applied(self):
+        from repro.ml import StandardScaler
+
+        extractor = FeatureExtractor()
+        stream = make_stream(3)
+        X, _, _ = extractor.transform(stream)
+        scaler = StandardScaler().fit(X)
+        ids = RealTimeIds(RequireScaledModel(), "m", extractor=extractor, scaler=scaler)
+        report = ids.process(stream)
+        assert report.n_windows == 3
+
+
+class TestResourceMeter:
+    def test_accumulates_cpu_and_memory(self):
+        meter = ResourceMeter(window_seconds=1.0)
+        meter.start_window()
+        _ = [i**2 for i in range(20_000)]  # burn some cpu / allocate
+        meter.end_window()
+        assert meter.windows_measured == 1
+        assert meter.cpu_seconds_total > 0
+        assert meter.memory_kb > 0
+
+    def test_end_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            ResourceMeter(1.0).end_window()
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceMeter(0.0)
+
+    def test_cpu_percent_scales_with_budget(self):
+        meter_small = ResourceMeter(1.0, iot_cpu_scale=0.01)
+        meter_big = ResourceMeter(1.0, iot_cpu_scale=1.0)
+        for meter in (meter_small, meter_big):
+            meter.start_window()
+            _ = sum(i for i in range(50_000))
+            meter.end_window()
+        assert meter_small.cpu_percent > meter_big.cpu_percent
+
+    def test_finalize_builds_metrics(self):
+        meter = ResourceMeter(1.0)
+        meter.start_window()
+        meter.end_window()
+        metrics = meter.finalize(model_size_kb=42.0)
+        assert metrics.model_size_kb == 42.0
+        assert "42.00 Kb" in str(metrics)
+
+    def test_zero_windows_zero_percent(self):
+        meter = ResourceMeter(1.0)
+        assert meter.cpu_percent == 0.0
+        assert meter.memory_kb == 0.0
+
+
+class TestDetectionReport:
+    def make(self, accuracies, malicious=None):
+        report = DetectionReport("m")
+        malicious = malicious or [0] * len(accuracies)
+        for i, (acc, mal) in enumerate(zip(accuracies, malicious)):
+            report.windows.append(
+                WindowResult(i, float(i), 10, mal, 0, acc)
+            )
+        return report
+
+    def test_mean_and_min(self):
+        report = self.make([1.0, 0.5, 0.75])
+        assert report.mean_accuracy == pytest.approx(0.75)
+        assert report.min_accuracy == 0.5
+
+    def test_packet_accuracy_weighted(self):
+        report = DetectionReport("m")
+        report.windows.append(WindowResult(0, 0.0, 10, 0, 0, 1.0))
+        report.windows.append(WindowResult(1, 1.0, 30, 0, 0, 0.5))
+        assert report.packet_accuracy == pytest.approx((10 + 15) / 40)
+
+    def test_empty_report(self):
+        report = DetectionReport("m")
+        assert report.mean_accuracy == 0.0
+        assert report.min_accuracy == 0.0
+        assert report.packet_accuracy == 0.0
+
+    def test_boundary_windows_flank_transitions(self):
+        report = self.make([1.0, 0.4, 1.0, 0.4, 1.0], malicious=[0, 10, 10, 0, 0])
+        edges = report.boundary_windows()
+        assert [w.window_index for w in edges] == [0, 1, 2, 3]
+
+    def test_accuracy_series(self):
+        report = self.make([1.0, 0.5])
+        assert report.accuracy_series() == [(0.0, 1.0), (1.0, 0.5)]
+
+    def test_str_mentions_model(self):
+        assert "m:" in str(self.make([1.0]))

@@ -1,0 +1,162 @@
+"""Tests for KMeans, U-k-means, and the cluster-labelling detector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml import KMeans, KMeansDetector, UnsupervisedKMeans, accuracy_score
+from repro.ml.kmeans import _kmeans_pp_init, _pairwise_sq_dists
+from repro.ml.preprocessing import NotFittedError
+
+
+def blobs(k=3, n_per=60, d=2, sep=8.0, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-sep, sep, (k, d))
+    X = np.vstack([rng.normal(c, 0.5, (n_per, d)) for c in centers])
+    labels = np.repeat(np.arange(k), n_per)
+    return X, labels, centers
+
+
+class TestDistances:
+    def test_pairwise_matches_naive(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(0, 1, (10, 3))
+        C = rng.normal(0, 1, (4, 3))
+        fast = _pairwise_sq_dists(X, C)
+        naive = ((X[:, None, :] - C[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(fast, naive, atol=1e-9)
+
+    def test_nonnegative(self):
+        X = np.array([[1e8, 1e8]])
+        np.testing.assert_array_equal(_pairwise_sq_dists(X, X) >= 0, True)
+
+
+class TestKMeansPlusPlus:
+    def test_returns_k_centers_from_data_region(self):
+        X, _, _ = blobs()
+        centers = _kmeans_pp_init(X, 3, np.random.default_rng(1))
+        assert centers.shape == (3, 2)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        X, true_labels, _ = blobs(k=3, seed=1)
+        km = KMeans(n_clusters=3, random_state=0).fit(X)
+        # each true blob maps to exactly one cluster
+        for blob in range(3):
+            members = km.labels_[true_labels == blob]
+            assert len(np.unique(members)) == 1
+
+    def test_inertia_decreases_with_more_clusters(self):
+        X, _, _ = blobs(k=4, seed=2)
+        inertia = [
+            KMeans(n_clusters=k, random_state=0).fit(X).inertia_ for k in (1, 2, 4)
+        ]
+        assert inertia[0] > inertia[1] > inertia[2]
+
+    def test_predict_assigns_nearest_centroid(self):
+        X, _, _ = blobs(k=2, seed=3)
+        km = KMeans(n_clusters=2, random_state=0).fit(X)
+        preds = km.predict(X)
+        dists = _pairwise_sq_dists(X, km.cluster_centers_)
+        np.testing.assert_array_equal(preds, np.argmin(dists, axis=1))
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=5).fit(np.zeros((3, 2)))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            KMeans().predict(np.zeros((2, 2)))
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_property_labels_in_range_and_deterministic(self, seed):
+        X, _, _ = blobs(k=2, n_per=30, seed=seed)
+        a = KMeans(n_clusters=2, random_state=42).fit(X)
+        b = KMeans(n_clusters=2, random_state=42).fit(X)
+        np.testing.assert_array_equal(a.labels_, b.labels_)
+        assert set(np.unique(a.labels_)) <= {0, 1}
+
+
+class TestUnsupervisedKMeans:
+    def test_discovers_cluster_count(self):
+        X, _, _ = blobs(k=3, n_per=80, sep=10.0, seed=4)
+        uk = UnsupervisedKMeans(max_clusters=12, gamma_scale=2.0, random_state=0).fit(X)
+        assert 2 <= uk.n_clusters_ <= 6  # near the true 3, never the cap
+
+    def test_mixing_proportions_sum_to_one(self):
+        X, _, _ = blobs(k=2, seed=5)
+        uk = UnsupervisedKMeans(max_clusters=10, random_state=0).fit(X)
+        assert uk.mixing_proportions_.sum() == pytest.approx(1.0)
+        assert (uk.mixing_proportions_ > 0).all()
+
+    def test_labels_cover_all_points(self):
+        X, _, _ = blobs(k=3, seed=6)
+        uk = UnsupervisedKMeans(random_state=0).fit(X)
+        assert len(uk.labels_) == len(X)
+        assert uk.labels_.max() < uk.n_clusters_
+
+    def test_single_blob_collapses_to_few_clusters(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(0, 0.2, (150, 3))
+        uk = UnsupervisedKMeans(max_clusters=15, gamma_scale=2.0, random_state=0).fit(X)
+        assert uk.n_clusters_ <= 4
+
+    def test_gamma_scale_controls_pruning(self):
+        """A stronger entropy penalty prunes more aggressively."""
+        rng = np.random.default_rng(8)
+        X = rng.normal(0, 1.0, (200, 3))
+        gentle = UnsupervisedKMeans(max_clusters=15, gamma_scale=0.1, random_state=0).fit(X)
+        harsh = UnsupervisedKMeans(max_clusters=15, gamma_scale=3.0, random_state=0).fit(X)
+        assert harsh.n_clusters_ <= gentle.n_clusters_
+
+    def test_invalid_gamma_scale(self):
+        with pytest.raises(ValueError):
+            UnsupervisedKMeans(gamma_scale=-1.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            UnsupervisedKMeans().predict(np.zeros((2, 2)))
+
+    def test_invalid_max_clusters(self):
+        with pytest.raises(ValueError):
+            UnsupervisedKMeans(max_clusters=1)
+
+
+class TestKMeansDetector:
+    def test_classifies_separated_classes(self):
+        X, true_labels, _ = blobs(k=2, sep=10.0, seed=8)
+        y = (true_labels == 1).astype(int)
+        detector = KMeansDetector(auto_k=True, random_state=0).fit(X, y)
+        assert accuracy_score(y, detector.predict(X)) > 0.95
+
+    def test_fixed_k_mode(self):
+        X, true_labels, _ = blobs(k=2, sep=10.0, seed=9)
+        y = (true_labels == 1).astype(int)
+        detector = KMeansDetector(n_clusters=4, auto_k=False, random_state=0).fit(X, y)
+        assert detector.n_clusters_ == 4
+        assert accuracy_score(y, detector.predict(X)) > 0.95
+
+    def test_cluster_labels_are_binary(self):
+        X, true_labels, _ = blobs(k=3, seed=10)
+        y = (true_labels > 0).astype(int)
+        detector = KMeansDetector(random_state=0).fit(X, y)
+        assert set(np.unique(detector.cluster_labels_)) <= {0, 1}
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            KMeansDetector().predict(np.zeros((2, 2)))
+
+    def test_handles_multimodal_classes(self):
+        """Each class made of several blobs - needs multiple clusters."""
+        X1, _, _ = blobs(k=2, sep=12.0, seed=11)
+        X2, _, _ = blobs(k=2, sep=12.0, seed=12)
+        X = np.vstack([X1, X2 + 100.0])
+        y = np.array([0] * len(X1) + [1] * len(X2))
+        detector = KMeansDetector(auto_k=True, max_clusters=16, random_state=0).fit(X, y)
+        assert accuracy_score(y, detector.predict(X)) > 0.95

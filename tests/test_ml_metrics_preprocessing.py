@@ -1,0 +1,169 @@
+"""Tests for metrics, scalers, and splits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml import (
+    StandardScaler,
+    accuracy_score,
+    confusion_matrix,
+    evaluate_classifier,
+    f1_score,
+    precision_score,
+    recall_score,
+    train_test_split,
+)
+from repro.ml.preprocessing import MinMaxScaler, NotFittedError, one_hot
+
+
+class TestMetrics:
+    def test_perfect_prediction(self):
+        y = [0, 1, 1, 0]
+        assert accuracy_score(y, y) == 1.0
+        assert precision_score(y, y) == 1.0
+        assert recall_score(y, y) == 1.0
+        assert f1_score(y, y) == 1.0
+
+    def test_known_confusion(self):
+        y_true = [1, 1, 1, 0, 0, 0]
+        y_pred = [1, 1, 0, 0, 0, 1]
+        matrix = confusion_matrix(y_true, y_pred)
+        # tn=2 fp=1 / fn=1 tp=2
+        assert matrix.tolist() == [[2, 1], [1, 2]]
+        assert accuracy_score(y_true, y_pred) == pytest.approx(4 / 6)
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_zero_division_no_predicted_positives(self):
+        """The paper's §IV-D division-by-zero case: all-benign windows."""
+        y_true = [1, 1]
+        y_pred = [0, 0]
+        assert precision_score(y_true, y_pred) == 0.0
+        assert precision_score(y_true, y_pred, zero_division=1.0) == 1.0
+        assert f1_score(y_true, y_pred) == 0.0
+
+    def test_zero_division_no_actual_positives(self):
+        y_true = [0, 0]
+        y_pred = [0, 1]
+        assert recall_score(y_true, y_pred) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([0, 1], [0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_report_string(self):
+        report = evaluate_classifier([0, 1, 1, 0], [0, 1, 0, 0])
+        text = str(report)
+        assert "accuracy=0.7500" in text
+        assert "tp=1" in text
+
+    @given(
+        arrays(np.int64, st.integers(1, 60), elements=st.integers(0, 1)),
+        arrays(np.int64, st.integers(1, 60), elements=st.integers(0, 1)),
+    )
+    def test_property_f1_between_precision_recall_extremes(self, a, b):
+        n = min(len(a), len(b))
+        y_true, y_pred = a[:n], b[:n]
+        p = precision_score(y_true, y_pred)
+        r = recall_score(y_true, y_pred)
+        f1 = f1_score(y_true, y_pred)
+        assert 0.0 <= f1 <= 1.0
+        assert f1 <= max(p, r) + 1e-12
+        if p > 0 and r > 0:
+            assert f1 >= min(p, r) - 1e-12
+
+    @given(arrays(np.int64, st.integers(1, 60), elements=st.integers(0, 1)))
+    def test_property_confusion_sums_to_n(self, y):
+        rng = np.random.default_rng(0)
+        y_pred = rng.integers(0, 2, size=len(y))
+        assert confusion_matrix(y, y_pred).sum() == len(y)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(5, 3, (200, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0, atol=1e-9)
+        np.testing.assert_allclose(Z.std(axis=0), 1, atol=1e-9)
+
+    def test_constant_column_passthrough(self):
+        X = np.array([[1.0, 7.0], [2.0, 7.0], [3.0, 7.0]])
+        Z = StandardScaler().fit_transform(X)
+        assert not np.isnan(Z).any()
+        np.testing.assert_allclose(Z[:, 1], 0.0)
+
+    def test_inverse_transform_roundtrip(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(0, 2, (50, 3))
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros(5))
+
+
+class TestMinMaxScaler:
+    def test_range_is_unit_interval(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(0, 10, (100, 3))
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= 0.0 and Z.max() <= 1.0
+
+    def test_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+
+class TestSplit:
+    def test_sizes(self):
+        X = np.arange(100).reshape(100, 1)
+        y = np.array([0] * 50 + [1] * 50)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_fraction=0.3, seed=0)
+        assert len(Xtr) == 70 and len(Xte) == 30
+
+    def test_stratified_preserves_balance(self):
+        y = np.array([0] * 80 + [1] * 20)
+        X = np.arange(100).reshape(100, 1)
+        _, _, ytr, yte = train_test_split(X, y, test_fraction=0.25, seed=1)
+        assert abs(ytr.mean() - 0.2) < 0.02
+        assert abs(yte.mean() - 0.2) < 0.02
+
+    def test_no_leakage(self):
+        X = np.arange(40).reshape(40, 1)
+        y = np.array([0, 1] * 20)
+        Xtr, Xte, _, _ = train_test_split(X, y, seed=2)
+        assert set(Xtr.ravel()).isdisjoint(set(Xte.ravel()))
+        assert len(Xtr) + len(Xte) == 40
+
+    def test_deterministic_by_seed(self):
+        X = np.arange(40).reshape(40, 1)
+        y = np.array([0, 1] * 20)
+        a = train_test_split(X, y, seed=5)
+        b = train_test_split(X, y, seed=5)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_fraction=1.5)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(5))
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        assert out.tolist() == [[1, 0, 0], [0, 0, 1], [0, 1, 0]]

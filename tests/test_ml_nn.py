@@ -1,0 +1,249 @@
+"""Tests for NN layers (with numeric gradient checks), the CNN, the AE."""
+
+import numpy as np
+import pytest
+
+from repro.ml import AutoencoderDetector, CnnClassifier, accuracy_score
+from repro.ml.cnn import Sequential
+from repro.ml.layers import (
+    Adam,
+    Conv1D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool1D,
+    ReLU,
+    SoftmaxCrossEntropy,
+)
+from repro.ml.preprocessing import NotFittedError
+
+RNG = np.random.default_rng(0)
+
+
+def numeric_gradient(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f wrt array x."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        hi = f()
+        flat[i] = old - eps
+        lo = f()
+        flat[i] = old
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+class TestGradientChecks:
+    def test_dense_weight_gradients(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(4, 3, rng)
+        x = rng.normal(0, 1, (5, 4))
+        target = rng.normal(0, 1, (5, 3))
+
+        def loss():
+            out = layer.forward(x)
+            return 0.5 * np.sum((out - target) ** 2)
+
+        out = layer.forward(x)
+        layer.backward(out - target)
+        for param, grad in zip(layer.params(), layer.grads()):
+            numeric = numeric_gradient(loss, param)
+            np.testing.assert_allclose(grad, numeric, atol=1e-5)
+
+    def test_dense_input_gradient(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(4, 3, rng)
+        x = rng.normal(0, 1, (5, 4))
+        target = rng.normal(0, 1, (5, 3))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(x) - target) ** 2)
+
+        dx = layer.backward(layer.forward(x) - target)
+        np.testing.assert_allclose(dx, numeric_gradient(loss, x), atol=1e-5)
+
+    @pytest.mark.parametrize("padding", ["same", "valid"])
+    def test_conv1d_gradients(self, padding):
+        rng = np.random.default_rng(3)
+        layer = Conv1D(2, 3, kernel_size=3, rng=rng, padding=padding)
+        x = rng.normal(0, 1, (4, 2, 8))
+        out_shape = layer.forward(x).shape
+        target = rng.normal(0, 1, out_shape)
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(x) - target) ** 2)
+
+        dx = layer.backward(layer.forward(x) - target)
+        np.testing.assert_allclose(dx, numeric_gradient(loss, x), atol=1e-5)
+        for param, grad in zip(layer.params(), layer.grads()):
+            np.testing.assert_allclose(grad, numeric_gradient(loss, param), atol=1e-5)
+
+    def test_maxpool_gradient_routes_to_max(self):
+        layer = MaxPool1D(2)
+        x = np.array([[[1.0, 5.0, 2.0, 3.0]]])
+        out = layer.forward(x)
+        np.testing.assert_array_equal(out, [[[5.0, 3.0]]])
+        dx = layer.backward(np.array([[[1.0, 2.0]]]))
+        np.testing.assert_array_equal(dx, [[[0.0, 1.0, 0.0, 2.0]]])
+
+    def test_maxpool_tie_routes_once(self):
+        layer = MaxPool1D(2)
+        x = np.array([[[3.0, 3.0]]])
+        layer.forward(x)
+        dx = layer.backward(np.array([[[1.0]]]))
+        assert dx.sum() == 1.0
+
+    def test_relu(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 2.0]])
+        np.testing.assert_array_equal(layer.forward(x), [[0.0, 2.0]])
+        np.testing.assert_array_equal(layer.backward(np.ones((1, 2))), [[0.0, 1.0]])
+
+    def test_flatten_roundtrip(self):
+        layer = Flatten()
+        x = RNG.normal(0, 1, (3, 2, 4))
+        out = layer.forward(x)
+        assert out.shape == (3, 8)
+        np.testing.assert_array_equal(layer.backward(out), x)
+
+    def test_softmax_ce_gradient(self):
+        head = SoftmaxCrossEntropy()
+        rng = np.random.default_rng(4)
+        logits = rng.normal(0, 1, (6, 3))
+        y = rng.integers(0, 3, 6)
+
+        def loss():
+            value, _ = head.forward(logits, y)
+            return value
+
+        head.forward(logits, y)
+        grad = head.backward()
+        np.testing.assert_allclose(grad, numeric_gradient(loss, logits), atol=1e-6)
+
+    def test_softmax_probabilities_normalized(self):
+        head = SoftmaxCrossEntropy()
+        _, proba = head.forward(np.array([[1000.0, 1000.0]]), np.array([0]))
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+        assert not np.isnan(proba).any()
+
+
+class TestDropout:
+    def test_identity_at_inference(self):
+        layer = Dropout(0.5, np.random.default_rng(0))
+        x = RNG.normal(0, 1, (4, 4))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_scales_kept_units_in_training(self):
+        layer = Dropout(0.5, np.random.default_rng(0))
+        x = np.ones((1, 10_000))
+        out = layer.forward(x, training=True)
+        # inverted dropout keeps the expectation
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+        assert (out == 0).sum() == pytest.approx(5000, abs=300)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0, np.random.default_rng(0))
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        x = np.array([5.0])
+        optimizer = Adam([x], lr=0.1)
+        for _ in range(300):
+            optimizer.step([2 * x])
+        assert abs(x[0]) < 0.05
+
+
+class TestCnnClassifier:
+    def test_learns_separable_classes(self):
+        rng = np.random.default_rng(5)
+        X0 = rng.normal(0, 1, (300, 16))
+        X1 = rng.normal(2, 1, (300, 16))
+        X = np.vstack([X0, X1])
+        y = np.array([0] * 300 + [1] * 300)
+        cnn = CnnClassifier(n_features=16, epochs=6, random_state=0).fit(X, y)
+        assert accuracy_score(y, cnn.predict(X)) > 0.95
+
+    def test_deterministic_by_seed(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(0, 1, (100, 12))
+        y = (X[:, 0] > 0).astype(int)
+        a = CnnClassifier(n_features=12, epochs=2, random_state=3).fit(X, y)
+        b = CnnClassifier(n_features=12, epochs=2, random_state=3).fit(X, y)
+        np.testing.assert_allclose(a.predict_proba(X), b.predict_proba(X))
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(0, 1, (400, 16))
+        y = (X[:, :4].sum(axis=1) > 0).astype(int)
+        cnn = CnnClassifier(n_features=16, epochs=8, random_state=0).fit(X, y)
+        history = cnn.net.history
+        assert history[-1] < history[0]
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            CnnClassifier(n_features=16).predict(np.zeros((2, 16)))
+
+    def test_too_few_features_rejected(self):
+        with pytest.raises(ValueError):
+            CnnClassifier(n_features=3).fit(np.zeros((4, 3)), np.zeros(4, dtype=int))
+
+    def test_n_parameters_counts_weights(self):
+        cnn = CnnClassifier(n_features=16, conv_channels=(4, 8), hidden=16)
+        # conv1: 4*1*3+4, conv2: 8*4*3+8, dense1: (4*8)*16+16, dense2: 16*2+2
+        expected = (12 + 4) + (96 + 8) + (32 * 16 + 16) + (32 + 2)
+        assert cnn.n_parameters() == expected
+
+    def test_weight_roundtrip(self):
+        rng = np.random.default_rng(8)
+        X = rng.normal(0, 1, (50, 12))
+        y = (X[:, 0] > 0).astype(int)
+        cnn = CnnClassifier(n_features=12, epochs=1, random_state=0).fit(X, y)
+        weights = cnn.net.get_weights()
+        proba = cnn.predict_proba(X)
+        cnn.net.set_weights([w * 0 for w in weights])
+        assert not np.allclose(cnn.predict_proba(X), proba)
+        cnn.net.set_weights(weights)
+        np.testing.assert_allclose(cnn.predict_proba(X), proba)
+
+    def test_set_weights_validates_shapes(self):
+        cnn = CnnClassifier(n_features=12, epochs=1, random_state=0)
+        rng = np.random.default_rng(9)
+        X = rng.normal(0, 1, (20, 12))
+        cnn.fit(X, (X[:, 0] > 0).astype(int))
+        with pytest.raises(ValueError):
+            cnn.net.set_weights([np.zeros(3)])
+
+
+class TestAutoencoder:
+    def test_flags_out_of_profile_points(self):
+        rng = np.random.default_rng(10)
+        benign = rng.normal(0, 0.5, (500, 8))
+        attack = rng.normal(6, 0.5, (200, 8))
+        X = np.vstack([benign, attack])
+        y = np.array([0] * 500 + [1] * 200)
+        ae = AutoencoderDetector(n_features=8, epochs=30, random_state=0).fit(X, y)
+        predictions = ae.predict(X)
+        assert accuracy_score(y, predictions) > 0.9
+
+    def test_benign_errors_below_threshold(self):
+        rng = np.random.default_rng(11)
+        benign = rng.normal(0, 0.5, (300, 6))
+        y = np.zeros(300, dtype=int)
+        ae = AutoencoderDetector(n_features=6, epochs=20, quantile=0.99).fit(benign, y)
+        errors = ae.reconstruction_error(benign)
+        assert (errors <= ae.threshold_).mean() >= 0.98
+
+    def test_needs_benign_samples(self):
+        with pytest.raises(ValueError):
+            AutoencoderDetector(n_features=4).fit(
+                np.zeros((5, 4)), np.ones(5, dtype=int)
+            )
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            AutoencoderDetector(n_features=4).predict(np.zeros((2, 4)))

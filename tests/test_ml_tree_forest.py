@@ -1,0 +1,148 @@
+"""Tests for decision trees and the random forest."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml import DecisionTreeClassifier, RandomForestClassifier, accuracy_score
+from repro.ml.preprocessing import NotFittedError
+
+
+def xor_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, (n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+def gaussian_data(n=400, seed=0, d=5, sep=2.0):
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(0, 1, (n // 2, d))
+    X1 = rng.normal(sep, 1, (n // 2, d))
+    X = np.vstack([X0, X1])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    return X, y
+
+
+class TestDecisionTree:
+    def test_fits_training_data_exactly_when_unbounded(self):
+        X, y = xor_data()
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert accuracy_score(y, tree.predict(X)) == 1.0
+
+    def test_xor_needs_depth_two(self):
+        X, y = xor_data()
+        shallow = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert accuracy_score(y, shallow.predict(X)) < 0.75
+        assert accuracy_score(y, deep.predict(X)) > 0.95
+
+    def test_max_depth_respected(self):
+        X, y = xor_data()
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert tree.depth_ <= 3
+
+    def test_min_samples_leaf(self):
+        X, y = gaussian_data(100)
+        tree = DecisionTreeClassifier(min_samples_leaf=20).fit(X, y)
+
+        def check(node):
+            if node.is_leaf:
+                assert node.counts.sum() >= 20 or node is tree.root_
+            else:
+                check(node.left)
+                check(node.right)
+
+        check(tree.root_)
+
+    def test_pure_node_stops_splitting(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.root_.is_leaf
+        assert tree.node_count_ == 1
+
+    def test_constant_features_yield_leaf(self):
+        X = np.ones((10, 3))
+        y = np.array([0, 1] * 5)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.root_.is_leaf
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.zeros((2, 2)))
+
+    def test_predict_proba_rows_sum_to_one(self):
+        X, y = gaussian_data()
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        proba = tree.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_generalizes_on_held_out(self):
+        X, y = gaussian_data(600, seed=1)
+        tree = DecisionTreeClassifier(max_depth=6).fit(X[:400], y[:400])
+        assert accuracy_score(y[400:], tree.predict(X[400:])) > 0.9
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_prediction_matches_training_label_on_separable(self, seed):
+        """On perfectly separable 1-D data the tree recovers the rule."""
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(-1, 1, (60, 1))
+        y = (X[:, 0] > 0.1).astype(int)
+        if len(np.unique(y)) < 2:
+            return
+        tree = DecisionTreeClassifier().fit(X, y)
+        np.testing.assert_array_equal(tree.predict(X), y)
+
+
+class TestRandomForest:
+    def test_outperforms_or_matches_single_stump(self):
+        X, y = xor_data(600, seed=2)
+        forest = RandomForestClassifier(n_estimators=20, max_depth=6, random_state=0)
+        forest.fit(X[:400], y[:400])
+        assert accuracy_score(y[400:], forest.predict(X[400:])) > 0.9
+
+    def test_vote_is_majority(self):
+        X, y = gaussian_data(300, seed=3)
+        forest = RandomForestClassifier(n_estimators=5, max_depth=4).fit(X, y)
+        votes = np.stack([tree.predict(X) for tree in forest.trees_])
+        expected = (votes.sum(axis=0) > 2.5).astype(int)
+        np.testing.assert_array_equal(forest.predict(X), expected)
+
+    def test_deterministic_by_seed(self):
+        X, y = gaussian_data(200, seed=4)
+        a = RandomForestClassifier(n_estimators=5, random_state=7).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=7).fit(X, y)
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))
+
+    def test_different_seeds_differ(self):
+        X, y = xor_data(200, seed=5)
+        a = RandomForestClassifier(n_estimators=3, max_depth=2, random_state=1).fit(X, y)
+        b = RandomForestClassifier(n_estimators=3, max_depth=2, random_state=2).fit(X, y)
+        assert not np.array_equal(a.predict_proba(X), b.predict_proba(X))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            RandomForestClassifier().predict(np.zeros((2, 2)))
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_predict_proba_valid_distribution(self):
+        X, y = gaussian_data(200, seed=6)
+        forest = RandomForestClassifier(n_estimators=8, max_depth=5).fit(X, y)
+        proba = forest.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all()
+
+    def test_total_nodes_counts_all_trees(self):
+        X, y = gaussian_data(100, seed=7)
+        forest = RandomForestClassifier(n_estimators=4, max_depth=3).fit(X, y)
+        assert forest.total_nodes_ == sum(t.node_count_ for t in forest.trees_)
+        assert forest.total_nodes_ >= 4

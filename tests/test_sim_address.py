@@ -1,0 +1,118 @@
+"""Tests for IPv4/MAC addressing and subnet allocation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.address import (
+    ANY_ADDRESS,
+    AddressError,
+    BROADCAST_MAC,
+    Ipv4Address,
+    Ipv4Network,
+    MacAddress,
+    MacAllocator,
+)
+
+
+class TestIpv4Address:
+    def test_parse_and_format_roundtrip(self):
+        assert str(Ipv4Address.parse("192.168.1.42")) == "192.168.1.42"
+
+    def test_parse_computes_correct_integer(self):
+        assert Ipv4Address.parse("10.0.0.1").value == (10 << 24) + 1
+
+    def test_any_address_is_zero(self):
+        assert ANY_ADDRESS.value == 0
+        assert str(ANY_ADDRESS) == "0.0.0.0"
+
+    @pytest.mark.parametrize("bad", ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1.2.3.-4"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(AddressError):
+            Ipv4Address.parse(bad)
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(AddressError):
+            Ipv4Address(2**32)
+
+    def test_hashable_and_comparable(self):
+        a = Ipv4Address.parse("10.0.0.1")
+        b = Ipv4Address.parse("10.0.0.1")
+        assert a == b
+        assert len({a, b}) == 1
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_property_roundtrip_any_value(self, value):
+        addr = Ipv4Address(value)
+        assert Ipv4Address.parse(str(addr)) == addr
+
+
+class TestMacAddress:
+    def test_parse_and_format_roundtrip(self):
+        text = "02:00:00:00:00:2a"
+        assert str(MacAddress.parse(text)) == text
+
+    def test_broadcast_formats_all_ff(self):
+        assert str(BROADCAST_MAC) == "ff:ff:ff:ff:ff:ff"
+
+    @pytest.mark.parametrize("bad", ["", "02:00:00:00:00", "zz:00:00:00:00:01"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(AddressError):
+            MacAddress.parse(bad)
+
+    def test_allocator_is_sequential_and_unique(self):
+        alloc = MacAllocator()
+        macs = [alloc.allocate() for _ in range(10)]
+        assert len(set(macs)) == 10
+        assert macs[0].value + 1 == macs[1].value
+
+    @given(st.integers(min_value=0, max_value=2**48 - 1))
+    def test_property_roundtrip_any_value(self, value):
+        mac = MacAddress(value)
+        assert MacAddress.parse(str(mac)) == mac
+
+
+class TestIpv4Network:
+    def test_network_address_masks_host_bits(self):
+        net = Ipv4Network("10.0.0.55", 24)
+        assert str(net.network) == "10.0.0.0"
+
+    def test_broadcast(self):
+        net = Ipv4Network("10.0.0.0", 24)
+        assert str(net.broadcast) == "10.0.0.255"
+
+    def test_contains(self):
+        net = Ipv4Network("10.0.0.0", 24)
+        assert net.contains(Ipv4Address.parse("10.0.0.200"))
+        assert not net.contains(Ipv4Address.parse("10.0.1.1"))
+
+    def test_allocation_sequential(self):
+        net = Ipv4Network("10.0.0.0", 24)
+        assert str(net.allocate()) == "10.0.0.1"
+        assert str(net.allocate()) == "10.0.0.2"
+
+    def test_allocation_exhaustion(self):
+        net = Ipv4Network("10.0.0.0", 30)  # 2 usable hosts
+        net.allocate()
+        net.allocate()
+        with pytest.raises(AddressError):
+            net.allocate()
+
+    def test_hosts_iterates_usable_addresses(self):
+        net = Ipv4Network("10.0.0.0", 29)
+        hosts = list(net.hosts())
+        assert len(hosts) == 6
+        assert str(hosts[0]) == "10.0.0.1"
+        assert str(hosts[-1]) == "10.0.0.6"
+
+    def test_invalid_prefix_rejected(self):
+        with pytest.raises(AddressError):
+            Ipv4Network("10.0.0.0", 33)
+
+    @given(st.integers(min_value=8, max_value=30))
+    def test_property_all_allocated_addresses_in_subnet(self, prefix):
+        net = Ipv4Network("172.16.0.0", prefix)
+        for _ in range(min(20, 2 ** (32 - prefix) - 2)):
+            assert net.contains(net.allocate())
+
+    def test_str(self):
+        assert str(Ipv4Network("10.0.0.0", 24)) == "10.0.0.0/24"

@@ -1,0 +1,162 @@
+"""Unit and property tests for the event kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.core import SimulationError, Simulator
+
+
+def test_time_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(3.0, seen.append, "c")
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(2.0, seen.append, "b")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_simultaneous_events_run_fifo():
+    sim = Simulator()
+    seen = []
+    for tag in "abcde":
+        sim.schedule(1.0, seen.append, tag)
+    sim.run()
+    assert seen == list("abcde")
+
+
+def test_priority_orders_simultaneous_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "timer", priority=Simulator.PRIORITY_TIMER)
+    sim.schedule(1.0, seen.append, "normal", priority=Simulator.PRIORITY_NORMAL)
+    sim.run()
+    assert seen == ["normal", "timer"]
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    observed = []
+    sim.schedule(2.5, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == [2.5]
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "early")
+    sim.schedule(5.0, seen.append, "late")
+    sim.run(until=2.0)
+    assert seen == ["early"]
+    assert sim.now == 2.0
+    sim.run(until=10.0)
+    assert seen == ["early", "late"]
+
+
+def test_run_until_advances_time_even_when_queue_drains():
+    sim = Simulator()
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_abs(1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_run():
+    sim = Simulator()
+    seen = []
+    event = sim.schedule(1.0, seen.append, "x")
+    event.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_stop_halts_immediately():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, sim.stop)
+    sim.schedule(2.0, seen.append, "never")
+    sim.run()
+    assert seen == []
+    assert sim.now == 1.0
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        sim.schedule(1.0, seen.append, "second")
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == ["second"]
+
+
+def test_clear_drops_pending_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "x")
+    sim.clear()
+    sim.run()
+    assert seen == []
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_pending_events_excludes_cancelled():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    ev = sim.schedule(2.0, lambda: None)
+    ev.cancel()
+    assert sim.pending_events == 1
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))
+def test_property_execution_order_is_sorted(delays):
+    """Whatever the scheduling order, execution times are non-decreasing."""
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100), st.integers(0, 1)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_time_never_goes_backwards(schedule):
+    sim = Simulator()
+    trace = []
+    for delay, priority in schedule:
+        sim.schedule(delay, lambda: trace.append(sim.now), priority=priority)
+    sim.run()
+    assert all(b >= a for a, b in zip(trace, trace[1:]))

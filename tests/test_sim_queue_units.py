@@ -1,0 +1,94 @@
+"""Tests for drop-tail queues and unit parsing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.packet import Packet
+from repro.sim.queue import DropTailQueue
+from repro.sim.units import parse_rate, parse_size, parse_time
+
+
+def pkt():
+    return Packet(payload=b"x")
+
+
+class TestDropTailQueue:
+    def test_fifo_order(self):
+        queue = DropTailQueue(capacity=3)
+        first, second = Packet(payload=b"1"), Packet(payload=b"2")
+        queue.enqueue(first)
+        queue.enqueue(second)
+        assert queue.dequeue() is first
+        assert queue.dequeue() is second
+
+    def test_drop_when_full(self):
+        queue = DropTailQueue(capacity=2)
+        assert queue.enqueue(pkt())
+        assert queue.enqueue(pkt())
+        assert not queue.enqueue(pkt())
+        assert queue.dropped == 1
+        assert len(queue) == 2
+
+    def test_dequeue_empty_returns_none(self):
+        assert DropTailQueue().dequeue() is None
+
+    def test_peek_does_not_remove(self):
+        queue = DropTailQueue()
+        packet = pkt()
+        queue.enqueue(packet)
+        assert queue.peek() is packet
+        assert len(queue) == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(capacity=0)
+
+    def test_counters(self):
+        queue = DropTailQueue(capacity=1)
+        queue.enqueue(pkt())
+        queue.enqueue(pkt())
+        queue.dequeue()
+        assert (queue.enqueued, queue.dropped, queue.dequeued) == (1, 1, 1)
+
+    @given(st.lists(st.booleans(), max_size=80), st.integers(1, 10))
+    def test_property_occupancy_never_exceeds_capacity(self, ops, capacity):
+        """Any enqueue/dequeue interleaving keeps occupancy within bounds."""
+        queue = DropTailQueue(capacity=capacity)
+        for is_enqueue in ops:
+            if is_enqueue:
+                queue.enqueue(pkt())
+            else:
+                queue.dequeue()
+            assert 0 <= len(queue) <= capacity
+        assert queue.enqueued - queue.dequeued == len(queue)
+
+
+class TestUnits:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("100Mbps", 100e6), ("1Gbps", 1e9), ("9600bps", 9600.0), ("250kbps", 250e3), (42, 42.0)],
+    )
+    def test_parse_rate(self, text, expected):
+        assert parse_rate(text) == expected
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("50ms", 0.05), ("6.56us", 6.56e-6), ("2s", 2.0), ("1min", 60.0), ("1h", 3600.0), (0.5, 0.5)],
+    )
+    def test_parse_time(self, text, expected):
+        assert parse_time(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("10MB", 10_000_000), ("1KiB", 1024), ("3b", 3), ("2GiB", 2 * 1024**3)],
+    )
+    def test_parse_size(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_bare_number_string(self):
+        assert parse_rate("1000") == 1000.0
+
+    @pytest.mark.parametrize("bad", ["fast", "Mbps", "10 lightyears"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_rate(bad)

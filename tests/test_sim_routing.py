@@ -1,0 +1,129 @@
+"""Tests for multi-LAN topologies: routers, gateways, TTL."""
+
+import pytest
+
+from repro.sim import CsmaLan, PacketProbe, Simulator
+from repro.sim.topology import Router, set_default_gateway
+
+
+@pytest.fixture()
+def two_lans():
+    sim = Simulator()
+    iot = CsmaLan(sim, subnet="10.0.0.0", prefix_len=24)
+    servers = CsmaLan(sim, subnet="10.0.1.0", prefix_len=24)
+    router = Router(sim, "gw")
+    router.join(iot)
+    router.join(servers)
+    return sim, iot, servers, router
+
+
+def test_router_addresses_per_lan(two_lans):
+    sim, iot, servers, router = two_lans
+    assert str(router.address_on(iot)).startswith("10.0.0.")
+    assert str(router.address_on(servers)).startswith("10.0.1.")
+    with pytest.raises(ValueError):
+        router.address_on(CsmaLan(sim, subnet="10.0.9.0"))
+
+
+def test_udp_crosses_lans_via_gateway(two_lans):
+    sim, iot, servers, router = two_lans
+    device = iot.add_host("device")
+    server = servers.add_host("server")
+    set_default_gateway(iot, router)
+    set_default_gateway(servers, router)
+    inbox = []
+    sock = server.udp.bind(5000)
+    sock.on_receive = lambda s, p, n, src, sp: inbox.append((p, str(src)))
+    device.udp.bind(0).send_to(server.address, 5000, b"cross-lan")
+    sim.run(until=1.0)
+    assert inbox == [(b"cross-lan", str(device.address))]
+    assert router.node.packets_forwarded == 1
+
+
+def test_tcp_connection_across_router(two_lans):
+    sim, iot, servers, router = two_lans
+    device = iot.add_host("device")
+    server = servers.add_host("server")
+    set_default_gateway(iot, router)
+    set_default_gateway(servers, router)
+    received = []
+    server.tcp.listen(80, lambda s: setattr(
+        s, "on_data", lambda ss, p, n, a: received.append(n)))
+    sock = device.tcp.socket()
+    sock.connect(server.address, 80, lambda s: s.send(length=30_000))
+    sim.run(until=10.0)
+    assert sum(received) == 30_000
+    assert router.node.packets_forwarded > 40  # data + acks both ways
+
+
+def test_ttl_decremented_in_transit(two_lans):
+    sim, iot, servers, router = two_lans
+    device = iot.add_host("device")
+    server = servers.add_host("server")
+    set_default_gateway(iot, router)
+    set_default_gateway(servers, router)
+    probe = PacketProbe()
+    servers.add_probe(probe)
+    server.udp.bind(5000)
+    device.udp.bind(0).send_to(server.address, 5000, b"x")
+    sim.run(until=1.0)
+    # default TTL is 64; one hop leaves 63 on the server LAN
+    from repro.sim.packet import PROTO_UDP
+
+    assert probe.count == 1
+
+
+def test_ttl_expiry_drops_packet(two_lans):
+    sim, iot, servers, router = two_lans
+    device = iot.add_host("device")
+    server = servers.add_host("server")
+    set_default_gateway(iot, router)
+    inbox = []
+    sock = server.udp.bind(5000)
+    sock.on_receive = lambda *a: inbox.append(1)
+    from repro.sim.packet import Ipv4Header, Packet, PROTO_UDP, UdpHeader
+
+    doomed = Packet(
+        ip=Ipv4Header(src=device.address, dst=server.address, protocol=PROTO_UDP, ttl=1),
+        udp=UdpHeader(src_port=1, dst_port=5000),
+        payload=b"x",
+    )
+    device.send_ipv4(doomed)
+    sim.run(until=1.0)
+    assert inbox == []
+    assert router.node.ttl_expired == 1
+
+
+def test_host_does_not_forward(two_lans):
+    """A non-router host silently drops transit packets."""
+    sim, iot, servers, router = two_lans
+    device = iot.add_host("device")
+    bystander = iot.add_host("bystander")
+    server = servers.add_host("server")
+    device.default_gateway = bystander.address  # misconfigured gateway
+    inbox = []
+    sock = server.udp.bind(5000)
+    sock.on_receive = lambda *a: inbox.append(1)
+    device.udp.bind(0).send_to(server.address, 5000, b"x")
+    sim.run(until=1.0)
+    assert inbox == []
+    assert bystander.packets_forwarded == 0
+
+
+def test_cross_lan_flood_traverses_gateway(two_lans):
+    """A bot on the IoT LAN can flood a server on the other segment."""
+    sim, iot, servers, router = two_lans
+    bot = iot.add_host("bot")
+    victim = servers.add_host("victim")
+    set_default_gateway(iot, router)
+    set_default_gateway(servers, router)
+    from repro.botnet import UdpFlood
+
+    probe = PacketProbe()
+    servers.add_probe(probe)
+    attack = UdpFlood(bot, sim, victim.address, 80, pps=100, duration=2.0, seed=1)
+    attack.start()
+    sim.run(until=5.0)
+    floods = [r for r in probe.records if r.attack == "udp_flood"]
+    assert len(floods) == pytest.approx(200, rel=0.05)
+    assert router.node.packets_forwarded >= len(floods)

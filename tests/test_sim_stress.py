@@ -1,0 +1,155 @@
+"""Property-based and stress tests for the simulated network stack."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import CsmaLan, PacketProbe, Simulator
+from repro.sim.tcp import TcpState
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=40_000), min_size=1, max_size=6),
+    seed=st.integers(0, 2**16),
+)
+def test_property_tcp_delivers_every_transfer_exactly(sizes, seed):
+    """Any set of concurrent transfers arrives complete and exact."""
+    sim = Simulator()
+    lan = CsmaLan(sim, data_rate="50Mbps")
+    server = lan.add_host("server")
+    received: dict[int, int] = {}
+
+    def on_accept(sock):
+        key = sock.remote_port
+
+        def on_data(s, payload, length, app_data):
+            received[s.remote_port] = received.get(s.remote_port, 0) + length
+
+        sock.on_data = on_data
+
+    server.tcp.listen(80, on_accept, backlog=64)
+    clients = []
+    expected = {}
+    for i, size in enumerate(sizes):
+        client = lan.add_host(f"c{i}")
+        client.tcp.seed(seed + i)
+        sock = client.tcp.socket()
+        sock.connect(server.address, 80, lambda s, size=size: s.send(length=size))
+        clients.append(sock)
+        expected[sock.local_port] = size
+    sim.run(until=120.0)
+    assert received == expected
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    capacity=st.integers(min_value=2, max_value=8),
+    size=st.integers(min_value=10_000, max_value=60_000),
+)
+def test_property_tcp_reliable_under_any_queue_pressure(capacity, size):
+    """Tiny TX queues force drops; retransmission still completes transfers."""
+    sim = Simulator()
+    lan = CsmaLan(sim, data_rate="2Mbps")
+    server = lan.add_host("server")
+    client = lan.add_host("client", queue_capacity=capacity)
+    got = []
+    server.tcp.listen(80, lambda s: setattr(
+        s, "on_data", lambda ss, p, n, a: got.append(n)))
+    sock = client.tcp.socket()
+    sock.connect(server.address, 80, lambda s: s.send(length=size))
+    sim.run(until=240.0)
+    assert sum(got) == size
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_property_probe_count_conserved(seed):
+    """The promiscuous tap sees every delivered frame exactly once."""
+    sim = Simulator()
+    lan = CsmaLan(sim)
+    a = lan.add_host("a")
+    b = lan.add_host("b")
+    probe = lan.add_probe(PacketProbe())
+    rng = random.Random(seed)
+    sock_b = b.udp.bind(9)
+    sock_a = a.udp.bind(0)
+    n = rng.randrange(1, 50)
+    for _ in range(n):
+        sock_a.send_to(b.address, 9, length=rng.randrange(1, 1400))
+    sim.run(until=5.0)
+    assert probe.count == n
+    assert b.udp.sockets[9].datagrams_received == n
+
+
+def test_many_concurrent_connections_no_state_leak():
+    """Hundreds of sequential connections: every socket reaches CLOSED and
+    ports are recycled."""
+    sim = Simulator()
+    lan = CsmaLan(sim, data_rate="100Mbps")
+    server = lan.add_host("server")
+    client = lan.add_host("client")
+    completed = []
+
+    def serve(sock):
+        sock.on_data = lambda s, p, n, a: (s.send(b"ok"), s.close())
+
+    server.tcp.listen(80, serve, backlog=128)
+
+    def start_one(i):
+        sock = client.tcp.socket()
+        sock.on_close = lambda s: s.close()  # respond to server FIN
+
+        def on_est(s):
+            s.on_data = lambda ss, p, n, a: completed.append(i)
+            s.send(b"hi")
+
+        sock.connect(server.address, 80, on_est)
+
+    for i in range(200):
+        sim.schedule(i * 0.02, start_one, i)
+    sim.run(until=120.0)
+    assert len(completed) == 200
+    # all connection state torn down on both sides
+    assert len(client.tcp.sockets) == 0
+    assert len(server.tcp.sockets) == 0
+    # ephemeral ports were released along the way
+    assert len(client.tcp._ports_in_use) == 0
+
+
+def test_interleaved_floods_and_benign_transfer():
+    """A benign transfer completes while three flood types hammer the LAN."""
+    from repro.botnet import AckFlood, SynFlood, UdpFlood
+
+    sim = Simulator()
+    lan = CsmaLan(sim, data_rate="100Mbps")
+    server = lan.add_host("server")
+    client = lan.add_host("client")
+    bot = lan.add_host("bot")
+    got = []
+    server.tcp.listen(80, lambda s: setattr(
+        s, "on_data", lambda ss, p, n, a: got.append(n)), backlog=512)
+    for cls, seed in ((SynFlood, 1), (AckFlood, 2), (UdpFlood, 3)):
+        cls(bot, sim, server.address, 80, pps=300, duration=10.0, seed=seed).start()
+    sock = client.tcp.socket()
+    sim.schedule(1.0, sock.connect, server.address, 80,
+                 lambda s: s.send(length=200_000))
+    sim.run(until=120.0)
+    assert sum(got) == 200_000
+
+
+def test_post_run_sockets_quiesce():
+    """After all work completes the event queue drains (no timer leaks)."""
+    sim = Simulator()
+    lan = CsmaLan(sim)
+    server = lan.add_host("server")
+    client = lan.add_host("client")
+    server.tcp.listen(80, lambda s: s.close())
+    sock = client.tcp.socket()
+    sock.on_close = lambda s: s.close()
+    sock.connect(server.address, 80)
+    sim.run(until=300.0)
+    assert sock.state is TcpState.CLOSED
+    sim.run()  # drains without hanging
+    assert sim.pending_events == 0
