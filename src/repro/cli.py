@@ -1,9 +1,13 @@
 """Command-line interface: ``ddoshield <command>``.
 
-Three commands cover the testbed's day-to-day uses:
+Four commands cover the testbed's day-to-day uses:
 
 * ``ddoshield experiment`` — the full §IV-D reproduction (train + live
   detection), printing Tables I/II;
+* ``ddoshield faults`` — the same flow with the detection run impaired
+  by a fault plan (loss, partition, container crash + restart), printing
+  the healthy-vs-degraded accuracy breakdown and the fault/supervisor
+  logs;
 * ``ddoshield dataset`` — generate a labelled capture and export CSV
   (and optionally pcap);
 * ``ddoshield inventory`` — build the Figure 1 topology, run the Mirai
@@ -40,6 +44,38 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     print("\nTable II — sustainability:")
     for name, cpu, mem, size in result.table2():
         print(f"  {name}: cpu={cpu:.2f}% mem={mem:.2f}Kb model={size:.2f}Kb")
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro.testbed import Scenario, run_fault_experiment
+
+    scenario = Scenario(n_devices=args.devices, seed=args.seed)
+    result = run_fault_experiment(
+        scenario,
+        train_duration=args.train_duration,
+        detect_duration=args.detect_duration,
+    )
+    assert result.fault_plan is not None
+    print("fault plan:")
+    for spec in result.fault_plan.specs:
+        print(f"  {spec.describe()}")
+    print("\nfault events:")
+    for event in result.fault_events:
+        print(f"  t={event.time:9.3f}  {event.action:<10} {event.kind} "
+              f"targets={','.join(event.targets)} {event.detail}")
+    print("\nsupervisor events:")
+    for event in result.supervisor_events:
+        print(f"  t={event.time:9.3f}  {event.action:<8} {event.container} {event.detail}")
+    if result.restarts:
+        restarts = ", ".join(f"{k}×{v}" for k, v in sorted(result.restarts.items()))
+        print(f"\nrestarts: {restarts}")
+    print("\nreal-time accuracy under faults:")
+    for name, availability, healthy, degraded in result.fault_table():
+        print(f"  {name}: availability={availability:.2f} "
+              f"healthy={healthy:.2f}% degraded={degraded:.2f}%")
+    for report in result.detection:
+        print(f"  {report}")
     return 0
 
 
@@ -88,6 +124,14 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--train-duration", type=float, default=60.0)
     experiment.add_argument("--detect-duration", type=float, default=30.0)
     experiment.set_defaults(fn=cmd_experiment)
+
+    faults = sub.add_parser(
+        "faults", help="run the reproduction with an impaired detection phase"
+    )
+    _add_scenario_args(faults)
+    faults.add_argument("--train-duration", type=float, default=60.0)
+    faults.add_argument("--detect-duration", type=float, default=30.0)
+    faults.set_defaults(fn=cmd_faults)
 
     dataset = sub.add_parser("dataset", help="generate and export a labelled capture")
     _add_scenario_args(dataset)

@@ -14,7 +14,12 @@ tap bridges that attach containers to simulated ghost nodes
 from repro.containers.bridge import TapBridge
 from repro.containers.container import Container, ContainerState, Process
 from repro.containers.image import Image
-from repro.containers.orchestrator import Orchestrator, ServiceSpec
+from repro.containers.orchestrator import (
+    Orchestrator,
+    RestartPolicy,
+    ServiceSpec,
+    SupervisorEvent,
+)
 from repro.containers.resources import ResourceAccountant, ResourceLimits, ResourceUsage
 
 __all__ = [
@@ -26,6 +31,8 @@ __all__ = [
     "ResourceAccountant",
     "ResourceLimits",
     "ResourceUsage",
+    "RestartPolicy",
     "ServiceSpec",
+    "SupervisorEvent",
     "TapBridge",
 ]

@@ -44,3 +44,19 @@ class TapBridge:
         self.lan.remove_host(node)
         if node in self.ghost_nodes:
             self.ghost_nodes.remove(node)
+
+    def reconnect(self, node: Node) -> None:
+        """Re-graft a ghost node whose devices were unplugged (crash restart).
+
+        The node keeps its interfaces, addresses, and MACs across a
+        container crash; reconnecting simply re-attaches each device to
+        its channel, the same veth/tap re-plumbing a supervisor performs
+        when it restarts a bridged container.
+        """
+        for iface in node.interfaces:
+            if not iface.device.attached:
+                iface.device.channel.attach(iface.device)
+        if node not in self.ghost_nodes:
+            self.ghost_nodes.append(node)
+        if node not in self.lan.nodes:
+            self.lan.nodes.append(node)

@@ -26,6 +26,7 @@ class ContainerState(enum.Enum):
     CREATED = "created"
     RUNNING = "running"
     STOPPED = "stopped"
+    FAILED = "failed"  # crashed (killed / health-check death), not a clean stop
 
 
 class ContainerError(RuntimeError):
@@ -104,6 +105,9 @@ class Container:
         self.processes: list[Process] = []
         self.started_at: float | None = None
         self.stopped_at: float | None = None
+        self.restart_count = 0
+        #: Supervision hooks fired on every exit: ``fn(container, failed)``.
+        self.on_exit: list = []
 
     def __repr__(self) -> str:
         return f"Container({self.name!r}, image={self.image.reference!r}, state={self.state.value})"
@@ -133,6 +137,60 @@ class Container:
             process.stop()
         self.state = ContainerState.STOPPED
         self.stopped_at = self.sim.now
+        self._fire_exit(failed=False)
+
+    def kill(self) -> None:
+        """Crash the container: processes die and the tap is unplugged.
+
+        Unlike :meth:`stop`, a kill marks the container FAILED (so
+        ``on-failure`` restart policies trigger) and detaches its net
+        devices from the medium — a crashed device drops off the LAN,
+        flushing any frames still queued on its NIC.
+        """
+        if self.state is not ContainerState.RUNNING:
+            raise ContainerError(f"cannot kill {self.state.value} container {self.name}")
+        for process in self.processes:
+            process.stop()
+        for iface in self.node.interfaces:
+            if iface.device.attached:
+                iface.device.detach()
+        self.state = ContainerState.FAILED
+        self.stopped_at = self.sim.now
+        self._fire_exit(failed=True)
+
+    def restart(self) -> None:
+        """Boot a stopped/crashed container again with its existing processes.
+
+        Every process the container hosted — image entrypoints and
+        ``exec``-injected ones alike — is started again, re-opening its
+        sockets and rescheduling its work on the shared simulator.  The
+        caller (normally the orchestrator's supervisor) is responsible
+        for re-attaching the node's devices through the tap bridge first.
+        """
+        if self.state is ContainerState.RUNNING:
+            raise ContainerError(f"{self.name} is already running")
+        if self.state is ContainerState.CREATED:
+            raise ContainerError(f"{self.name} was never started; use start()")
+        self.state = ContainerState.RUNNING
+        self.started_at = self.sim.now
+        self.stopped_at = None
+        self.restart_count += 1
+        for process in self.processes:
+            process.start(self)
+
+    def is_healthy(self) -> bool:
+        """Default health probe: running with at least one live process.
+
+        Containers that were started without processes (bare nodes) count
+        as healthy while RUNNING.
+        """
+        if self.state is not ContainerState.RUNNING:
+            return False
+        return not self.processes or any(p.running for p in self.processes)
+
+    def _fire_exit(self, failed: bool) -> None:
+        for hook in list(self.on_exit):
+            hook(self, failed)
 
     @property
     def uptime(self) -> float:

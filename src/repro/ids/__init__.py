@@ -12,11 +12,18 @@ from repro.ids.defense import BlocklistFilter, MitigatingIds, TokenBucket
 from repro.ids.engine import RealTimeIds
 from repro.ids.meter import IOT_CPU_SCALE, ResourceMeter, SustainabilityMetrics
 from repro.ids.monitor import TrafficMonitor
-from repro.ids.report import DetectionReport, WindowResult
+from repro.ids.report import (
+    STATUS_DEGRADED,
+    STATUS_HEALTHY,
+    DetectionReport,
+    WindowResult,
+)
 
 __all__ = [
     "BlocklistFilter",
     "DetectionReport",
+    "STATUS_DEGRADED",
+    "STATUS_HEALTHY",
     "IOT_CPU_SCALE",
     "MitigatingIds",
     "RealTimeIds",

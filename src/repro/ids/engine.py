@@ -20,7 +20,12 @@ from repro.features.pipeline import FeatureExtractor
 from repro.features.window import WindowAggregator
 from repro.ids.meter import ResourceMeter
 from repro.ids.monitor import TrafficMonitor
-from repro.ids.report import DetectionReport, WindowResult
+from repro.ids.report import (
+    STATUS_DEGRADED,
+    STATUS_HEALTHY,
+    DetectionReport,
+    WindowResult,
+)
 from repro.ml.serialization import model_size_kb
 from repro.sim.tracing import PacketRecord
 
@@ -66,17 +71,75 @@ class RealTimeIds:
         )
         self.report = DetectionReport(model_name)
         self.alerts: list[tuple[float, int]] = []  # (window start, n flagged)
+        self.classifier_errors = 0
+        self._last_index: int | None = None
+        self._degraded_intervals: list[tuple[float, float]] = []
+
+    # ------------------------------------------------------------------
+    # Fault awareness
+
+    def mark_degraded(self, start: float, stop: float) -> None:
+        """Declare [start, stop) a fault interval (partition, restart).
+
+        Windows overlapping a declared interval are scored with a
+        ``degraded`` verdict so the report can separate accuracy under
+        faults from accuracy on healthy traffic.
+        """
+        if stop <= start:
+            raise ValueError(f"degraded interval must have stop > start, got {start}..{stop}")
+        self._degraded_intervals.append((start, stop))
+
+    def _window_degraded(self, index: int) -> bool:
+        start = index * self.window_seconds
+        stop = start + self.window_seconds
+        return any(s < stop and e > start for s, e in self._degraded_intervals)
+
+    def _emit_outage(self, index: int) -> None:
+        """Record a window the IDS saw nothing in — an explicit degraded
+        verdict rather than a silent gap in the report."""
+        self.report.windows.append(
+            WindowResult(
+                window_index=index,
+                start_time=index * self.window_seconds,
+                n_packets=0,
+                n_malicious_true=0,
+                n_malicious_predicted=0,
+                accuracy=0.0,
+                status=STATUS_DEGRADED,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Pipeline
 
     def _on_record(self, record: PacketRecord) -> None:
         self._aggregator.add(record)
 
     def _on_window(self, index: int, records: list[PacketRecord]) -> None:
-        self.meter.start_window()
-        X = self.extractor.transform_window(records)
-        X = self.scaler.transform(X)
-        predictions = np.asarray(self.model.predict(X), dtype=int)
-        self.meter.end_window()
+        # Fill interior gaps: the aggregator only emits non-empty windows,
+        # so missing indices mean the tap went blind (partition / restart).
+        if self._last_index is not None:
+            for missing in range(self._last_index + 1, index):
+                self._emit_outage(missing)
+        self._last_index = index
+        if not records:
+            self._emit_outage(index)
+            return
         labels = np.array([r.label for r in records], dtype=int)
+        status = STATUS_DEGRADED if self._window_degraded(index) else STATUS_HEALTHY
+        self.meter.start_window()
+        try:
+            X = self.extractor.transform_window(records)
+            X = self.scaler.transform(X)
+            predictions = np.asarray(self.model.predict(X), dtype=int)
+        except Exception:
+            # Classifier/pipeline failure mid-run: degrade the window
+            # instead of taking the whole IDS down with it.
+            self.classifier_errors += 1
+            predictions = np.zeros(len(records), dtype=int)
+            status = STATUS_DEGRADED
+        finally:
+            self.meter.end_window()
         accuracy = float(np.mean(predictions == labels))
         start_time = index * self.window_seconds
         flagged = int(predictions.sum())
@@ -90,16 +153,29 @@ class RealTimeIds:
                 n_malicious_true=int(labels.sum()),
                 n_malicious_predicted=flagged,
                 accuracy=accuracy,
+                status=status,
             )
         )
 
-    def process(self, records: Sequence[PacketRecord]) -> DetectionReport:
-        """Run the full loop over a recorded stream and finish."""
-        self.monitor.replay(records)
-        return self.finish()
+    def process(
+        self, records: Sequence[PacketRecord], until: float | None = None
+    ) -> DetectionReport:
+        """Run the full loop over a recorded stream and finish.
 
-    def finish(self) -> DetectionReport:
+        ``until`` extends degraded-outage accounting to the capture's
+        nominal end time: trailing windows the tap never saw (e.g. a
+        partition running past the last packet) get explicit verdicts.
+        """
+        self.monitor.replay(records)
+        return self.finish(until=until)
+
+    def finish(self, until: float | None = None) -> DetectionReport:
         """Flush the final partial window and attach sustainability."""
         self._aggregator.flush()
+        if until is not None and self._last_index is not None:
+            final_index = int(until / self.window_seconds)
+            for missing in range(self._last_index + 1, final_index):
+                self._emit_outage(missing)
+                self._last_index = missing
         self.report.sustainability = self.meter.finalize(model_size_kb(self.model))
         return self.report

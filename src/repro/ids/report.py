@@ -7,6 +7,13 @@ from dataclasses import dataclass, field
 from repro.ids.meter import SustainabilityMetrics
 
 
+#: Window verdict statuses.  ``healthy`` windows saw normal traffic;
+#: ``degraded`` windows overlap a fault (partition, container crash,
+#: classifier failure) or were empty/missing entirely.
+STATUS_HEALTHY = "healthy"
+STATUS_DEGRADED = "degraded"
+
+
 @dataclass(frozen=True)
 class WindowResult:
     """One time window's detection outcome."""
@@ -17,6 +24,7 @@ class WindowResult:
     n_malicious_true: int
     n_malicious_predicted: int
     accuracy: float
+    status: str = STATUS_HEALTHY
 
     @property
     def is_pure_benign(self) -> bool:
@@ -25,6 +33,15 @@ class WindowResult:
     @property
     def is_pure_malicious(self) -> bool:
         return self.n_malicious_true == self.n_packets
+
+    @property
+    def is_degraded(self) -> bool:
+        return self.status == STATUS_DEGRADED
+
+    @property
+    def scored(self) -> bool:
+        """Whether accuracy is meaningful (the window held packets)."""
+        return self.n_packets > 0
 
 
 @dataclass
@@ -37,17 +54,24 @@ class DetectionReport:
 
     @property
     def mean_accuracy(self) -> float:
-        """The paper's headline metric: mean of per-window accuracies."""
-        if not self.windows:
+        """The paper's headline metric: mean of per-window accuracies.
+
+        Only *scored* windows (those holding packets) contribute; empty
+        degraded verdicts emitted during partitions/restarts record the
+        outage without deflating the classifier's score.
+        """
+        scored = [w for w in self.windows if w.scored]
+        if not scored:
             return 0.0
-        return sum(w.accuracy for w in self.windows) / len(self.windows)
+        return sum(w.accuracy for w in scored) / len(scored)
 
     @property
     def min_accuracy(self) -> float:
-        """Worst single window (the paper reports a 35% minimum)."""
-        if not self.windows:
+        """Worst single scored window (the paper reports a 35% minimum)."""
+        scored = [w for w in self.windows if w.scored]
+        if not scored:
             return 0.0
-        return min(w.accuracy for w in self.windows)
+        return min(w.accuracy for w in scored)
 
     @property
     def packet_accuracy(self) -> float:
@@ -61,6 +85,56 @@ class DetectionReport:
     @property
     def n_windows(self) -> int:
         return len(self.windows)
+
+    # ------------------------------------------------------------------
+    # Fault-aware breakdown
+
+    @property
+    def healthy_windows(self) -> list[WindowResult]:
+        return [w for w in self.windows if not w.is_degraded]
+
+    @property
+    def degraded_windows(self) -> list[WindowResult]:
+        return [w for w in self.windows if w.is_degraded]
+
+    @property
+    def n_degraded(self) -> int:
+        return len(self.degraded_windows)
+
+    @property
+    def healthy_accuracy(self) -> float:
+        """Mean accuracy over scored windows unaffected by faults."""
+        scored = [w for w in self.healthy_windows if w.scored]
+        if not scored:
+            return 0.0
+        return sum(w.accuracy for w in scored) / len(scored)
+
+    @property
+    def degraded_accuracy(self) -> float:
+        """Mean accuracy over scored windows that overlapped a fault."""
+        scored = [w for w in self.degraded_windows if w.scored]
+        if not scored:
+            return 0.0
+        return sum(w.accuracy for w in scored) / len(scored)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of windows with a healthy verdict (1.0 on clean runs)."""
+        if not self.windows:
+            return 0.0
+        return len(self.healthy_windows) / len(self.windows)
+
+    def fault_breakdown(self) -> dict[str, float]:
+        """The fault-aware accuracy summary printed by ``ddoshield faults``."""
+        degraded = self.degraded_windows
+        return {
+            "n_windows": float(self.n_windows),
+            "n_degraded": float(len(degraded)),
+            "n_outage": float(sum(1 for w in degraded if not w.scored)),
+            "availability": self.availability,
+            "healthy_accuracy": self.healthy_accuracy,
+            "degraded_accuracy": self.degraded_accuracy,
+        }
 
     def accuracy_series(self) -> list[tuple[float, float]]:
         """(window start time, accuracy) pairs — the per-second trace."""
@@ -88,6 +162,12 @@ class DetectionReport:
             f"{self.model_name}: mean accuracy {100 * self.mean_accuracy:.2f}% "
             f"over {self.n_windows} windows (min {100 * self.min_accuracy:.1f}%)"
         )
+        if self.n_degraded:
+            line += (
+                f"; {self.n_degraded} degraded windows "
+                f"(healthy {100 * self.healthy_accuracy:.2f}% / "
+                f"degraded {100 * self.degraded_accuracy:.2f}%)"
+            )
         if self.sustainability is not None:
             line += f"; {self.sustainability}"
         return line

@@ -28,6 +28,21 @@ if TYPE_CHECKING:
 ProbeFn = Callable[[Packet, float], None]
 
 
+class ChannelImpairment:
+    """Interface a fault injector implements to impair frames in flight.
+
+    :meth:`impair` is consulted once per frame as it wins the medium and
+    returns ``(drop, extra_delay)``: dropped frames still occupy the wire
+    for their serialization time (the sender saw them leave), and
+    surviving frames are delivered ``extra_delay`` seconds late (jitter).
+    """
+
+    def impair(
+        self, frame: Packet, sender: "CsmaNetDevice", now: float
+    ) -> tuple[bool, float]:  # pragma: no cover - interface default
+        return False, 0.0
+
+
 class CsmaChannel:
     """A shared-medium channel serving attached devices in FIFO order."""
 
@@ -46,6 +61,9 @@ class CsmaChannel:
         self._waiting: list[CsmaNetDevice] = []
         self._probes: list[ProbeFn] = []
         self.frames_delivered = 0
+        #: Optional fault injector consulted per frame (repro.faults).
+        self.fault_injector: "ChannelImpairment | None" = None
+        self.frames_impaired = 0
 
     def attach(self, device: "CsmaNetDevice") -> None:
         """Register ``device`` on the medium."""
@@ -94,6 +112,10 @@ class CsmaChannel:
             self._waiting.append(device)
         self._serve()
 
+    def set_fault_injector(self, injector: "ChannelImpairment | None") -> None:
+        """Install (or clear) the per-frame impairment hook."""
+        self.fault_injector = injector
+
     def _serve(self) -> None:
         if self._busy:
             return
@@ -104,7 +126,17 @@ class CsmaChannel:
                 continue
             self._busy = True
             tx_time = self.transmission_time(frame.size)
-            self.sim.schedule(tx_time + self.delay, self._deliver, frame, device)
+            drop, extra_delay = False, 0.0
+            if self.fault_injector is not None:
+                drop, extra_delay = self.fault_injector.impair(
+                    frame, device, self.sim.now
+                )
+            if drop:
+                self.frames_impaired += 1
+            else:
+                self.sim.schedule(
+                    tx_time + self.delay + extra_delay, self._deliver, frame, device
+                )
             self.sim.schedule(tx_time, self._release, device)
             return
 

@@ -37,10 +37,17 @@ class Event:
     callback: Callable[..., Any] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    _sim: "Simulator | None" = field(compare=False, default=None, repr=False)
+    _in_heap: bool = field(compare=False, default=False, repr=False)
 
     def cancel(self) -> None:
-        """Prevent the event from running; cheap, leaves it in the heap."""
+        """Prevent the event from running; the owning simulator reclaims
+        heap space lazily once enough cancelled events accumulate."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None and self._in_heap:
+            self._sim._note_cancelled()
 
 
 class Simulator:
@@ -57,6 +64,10 @@ class Simulator:
     PRIORITY_NORMAL = 0
     #: Timers fire after normal events at the same instant.
     PRIORITY_TIMER = 1
+    #: Compact the heap once cancelled events exceed this fraction of it
+    #: (and the heap is large enough for the sweep to be worthwhile).
+    COMPACT_FRACTION = 0.5
+    COMPACT_MIN_SIZE = 64
 
     def __init__(self) -> None:
         self._now = 0.0
@@ -65,6 +76,8 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._events_executed = 0
+        self._cancelled_in_heap = 0
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -79,7 +92,36 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        return len(self._heap) - self._cancelled_in_heap
+
+    @property
+    def heap_compactions(self) -> int:
+        """How many lazy heap compactions have run (for instrumentation)."""
+        return self._compactions
+
+    def _note_cancelled(self) -> None:
+        """An event in the heap was cancelled; compact if too many linger.
+
+        Long fault/retry schedules cancel far-future events (retransmit
+        timers, restart backoffs) that would otherwise sit in the heap
+        until their original firing time.  Once they exceed
+        ``COMPACT_FRACTION`` of the heap, rebuild it without them.
+        """
+        self._cancelled_in_heap += 1
+        if (
+            len(self._heap) >= self.COMPACT_MIN_SIZE
+            and self._cancelled_in_heap > len(self._heap) * self.COMPACT_FRACTION
+        ):
+            kept: list[Event] = []
+            for ev in self._heap:
+                if ev.cancelled:
+                    ev._in_heap = False
+                else:
+                    kept.append(ev)
+            self._heap = kept
+            heapq.heapify(self._heap)
+            self._cancelled_in_heap = 0
+            self._compactions += 1
 
     def schedule(
         self,
@@ -105,7 +147,8 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={when} before current time t={self._now}"
             )
-        event = Event(when, priority, next(self._seq), callback, args)
+        event = Event(when, priority, next(self._seq), callback, args, _sim=self)
+        event._in_heap = True
         heapq.heappush(self._heap, event)
         return event
 
@@ -126,7 +169,10 @@ class Simulator:
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._heap)
+                event._in_heap = False
                 if event.cancelled:
+                    if self._cancelled_in_heap > 0:
+                        self._cancelled_in_heap -= 1
                     continue
                 self._now = event.time
                 self._events_executed += 1
@@ -142,4 +188,7 @@ class Simulator:
 
     def clear(self) -> None:
         """Drop all pending events (used between experiment phases)."""
+        for event in self._heap:
+            event._in_heap = False
         self._heap.clear()
+        self._cancelled_in_heap = 0

@@ -24,6 +24,7 @@ class DropTailQueue:
         self.enqueued = 0
         self.dropped = 0
         self.dequeued = 0
+        self.flushed = 0
 
     def __len__(self) -> int:
         return len(self._items)
@@ -57,4 +58,12 @@ class DropTailQueue:
         return self._items[0] if self._items else None
 
     def clear(self) -> None:
+        """Discard all queued packets, accounting them as flushed.
+
+        Flushes happen on link partition or container kill; counting them
+        keeps queue statistics conserved:
+        ``enqueued == dequeued + flushed + len(queue)``
+        (``dropped`` counts rejected arrivals, which were never enqueued).
+        """
+        self.flushed += len(self._items)
         self._items.clear()

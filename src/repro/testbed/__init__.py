@@ -13,9 +13,11 @@ from repro.testbed.builder import Testbed
 from repro.testbed.impact import ImpactSample, ImpactSeries, VictimMonitor, attach_victim_monitor
 from repro.testbed.experiment import (
     ExperimentResult,
+    FaultExperimentResult,
     ModelSpec,
     TrainedModel,
     default_model_specs,
+    run_fault_experiment,
     run_full_experiment,
     run_realtime_detection,
     train_models,
@@ -25,6 +27,7 @@ from repro.testbed.scenario import AttackPhase, Scenario
 __all__ = [
     "AttackPhase",
     "ExperimentResult",
+    "FaultExperimentResult",
     "ImpactSample",
     "ImpactSeries",
     "ModelSpec",
@@ -34,6 +37,7 @@ __all__ = [
     "VictimMonitor",
     "attach_victim_monitor",
     "default_model_specs",
+    "run_fault_experiment",
     "run_full_experiment",
     "run_realtime_detection",
     "train_models",

@@ -35,7 +35,8 @@ from repro.botnet import CncServer, Loader, MiraiBot, MiraiScanner
 from repro.botnet.credentials import random_credential
 from repro.botnet.telnet import VulnerableTelnet
 from repro.capture import TrafficDataset
-from repro.containers import Container, Image, Orchestrator
+from repro.containers import Container, Image, Orchestrator, RestartPolicy
+from repro.faults import FaultInjector, FaultPlan
 from repro.sim import CsmaLan, PacketProbe, Simulator
 from repro.sim.tracing import PcapWriter
 from repro.testbed.scenario import AttackPhase, Scenario
@@ -59,7 +60,11 @@ class Testbed:
             data_rate=self.scenario.data_rate,
             delay=self.scenario.channel_delay,
         )
-        self.orchestrator = Orchestrator(self.sim, self.lan)
+        self.orchestrator = Orchestrator(
+            self.sim, self.lan, seed=self.scenario.seed + 9000
+        )
+        self.fault_injector: FaultInjector | None = None
+        self.last_fault_base: float | None = None
         self.tserver: Container | None = None
         self.attacker: Container | None = None
         self.devices: list[Container] = []
@@ -197,6 +202,7 @@ class Testbed:
         attack_phases: list[AttackPhase] | None = None,
         pcap_path: str | None = None,
         rebase_timestamps: bool = False,
+        fault_plan: FaultPlan | None = None,
     ) -> TrafficDataset:
         """Record a labelled capture while attacks fire per the schedule.
 
@@ -205,6 +211,10 @@ class Testbed:
         *after* the dataset-generation run on the same testbed — so live
         timestamps lie beyond the training capture's range.  Pass
         ``rebase_timestamps=True`` to shift a capture to start at t=0.
+
+        ``fault_plan`` (falling back to ``scenario.fault_plan``) schedules
+        impairments, partitions, and container crashes relative to the
+        capture's start.
         """
         if not self._built:
             self.build()
@@ -213,6 +223,9 @@ class Testbed:
         probe = PacketProbe(pcap=pcap)
         self.lan.add_probe(probe)
         base = self.sim.now
+        plan = fault_plan if fault_plan is not None else self.scenario.fault_plan
+        if plan is not None:
+            self.apply_faults(plan, base=base)
         for phase in attack_phases or []:
             self.sim.schedule(
                 phase.start,
@@ -232,6 +245,47 @@ class Testbed:
         if rebase_timestamps:
             return TrafficDataset([_rebase(r, base) for r in probe.records])
         return TrafficDataset(list(probe.records))
+
+    # ------------------------------------------------------------------
+    # Fault injection
+
+    def apply_faults(self, plan: FaultPlan, base: float | None = None) -> FaultInjector:
+        """Arm a :class:`FaultPlan` against the running testbed.
+
+        Wire faults and partitions go to a :class:`FaultInjector` on the
+        LAN channel; ``kill`` specs register supervision on the
+        orchestrator (per the spec's restart policy) and schedule the
+        crash.  All spec times are relative to ``base`` (default: now).
+        Returns the injector so callers can inspect its event log.
+        """
+        if not self._built:
+            self.build()
+        if base is None:
+            base = self.sim.now
+        injector = FaultInjector(
+            self.sim, self.lan.channel, seed=plan.seed + self.scenario.seed
+        )
+        injector.schedule_plan(plan, resolve_device=self._resolve_device, base=base)
+        for spec in plan.kill_specs():
+            for target in spec.targets:
+                if target not in self.orchestrator.containers:
+                    raise TestbedError(f"kill fault targets unknown container {target!r}")
+                if spec.restart != "no":
+                    self.orchestrator.supervise(
+                        target, RestartPolicy(mode=spec.restart)
+                    )
+                self.sim.schedule_abs(
+                    base + spec.start, self.orchestrator.kill, target
+                )
+        self.fault_injector = injector
+        self.last_fault_base = base
+        return injector
+
+    def _resolve_device(self, name: str):
+        container = self.orchestrator.containers.get(name)
+        if container is None or not container.node.interfaces:
+            raise TestbedError(f"fault plan targets unknown container {name!r}")
+        return container.node.interfaces[0].device
 
     # ------------------------------------------------------------------
     # Churn

@@ -33,6 +33,8 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.capture import DatasetSummary, TrafficDataset
+from repro.containers.orchestrator import SupervisorEvent
+from repro.faults import FaultEvent, FaultPlan
 from repro.features.pipeline import FeatureExtractor
 from repro.ids.engine import RealTimeIds
 from repro.ids.report import DetectionReport
@@ -179,8 +181,15 @@ def run_realtime_detection(
     capture: TrafficDataset,
     trained: Sequence[TrainedModel],
     window_seconds: float = 1.0,
+    degraded_intervals: Sequence[tuple[float, float]] | None = None,
+    until: float | None = None,
 ) -> list[DetectionReport]:
-    """Stream the live capture through each model's real-time IDS."""
+    """Stream the live capture through each model's real-time IDS.
+
+    ``degraded_intervals`` are absolute ``(start, stop)`` fault spans the
+    IDS should score with degraded verdicts; ``until`` is the capture's
+    nominal end time so trailing outage windows get explicit verdicts.
+    """
     reports = []
     for item in trained:
         ids = RealTimeIds(
@@ -190,7 +199,9 @@ def run_realtime_detection(
             scaler=item.scaler,
             window_seconds=window_seconds,
         )
-        reports.append(ids.process(capture.records))
+        for start, stop in degraded_intervals or []:
+            ids.mark_degraded(start, stop)
+        reports.append(ids.process(capture.records, until=until))
     return reports
 
 
@@ -230,6 +241,92 @@ class ExperimentResult:
             )
             for t in self.trained
         ]
+
+
+@dataclass
+class FaultExperimentResult(ExperimentResult):
+    """An :class:`ExperimentResult` whose detection run ran under faults."""
+
+    fault_plan: FaultPlan | None = None
+    fault_events: list[FaultEvent] = field(default_factory=list)
+    supervisor_events: list[SupervisorEvent] = field(default_factory=list)
+    restarts: dict[str, int] = field(default_factory=dict)
+
+    def fault_table(self) -> list[tuple[str, float, float, float]]:
+        """(model, availability, healthy accuracy %, degraded accuracy %)."""
+        return [
+            (
+                r.model_name,
+                r.availability,
+                100.0 * r.healthy_accuracy,
+                100.0 * r.degraded_accuracy,
+            )
+            for r in self.detection
+        ]
+
+
+def run_fault_experiment(
+    scenario: Scenario | None = None,
+    train_duration: float = 60.0,
+    detect_duration: float = 30.0,
+    specs: Sequence[ModelSpec] | None = None,
+    fault_plan: FaultPlan | None = None,
+) -> FaultExperimentResult:
+    """§IV-D with an impaired detection run: train clean, detect under faults.
+
+    Training uses a pristine capture (as the paper's procedure does);
+    the fault plan — argument, then ``scenario.fault_plan``, then
+    :meth:`Scenario.default_fault_schedule` — is armed only for the
+    detection capture.  Every IDS is told the plan's degraded intervals
+    so its report separates healthy from degraded accuracy.
+    """
+    scenario = scenario or Scenario()
+    plan = fault_plan or scenario.fault_plan
+    if plan is None:
+        plan = scenario.default_fault_schedule(detect_duration)
+    testbed = Testbed(scenario).build()
+    infection_seconds = testbed.infect_all()
+    train_capture = testbed.capture(
+        train_duration, scenario.training_schedule(train_duration)
+    )
+    trained = train_models(
+        train_capture,
+        specs=specs,
+        window_seconds=scenario.window_seconds,
+        seed=scenario.seed,
+    )
+    base = testbed.sim.now
+    detect_capture = testbed.capture(
+        detect_duration,
+        scenario.detection_schedule(detect_duration),
+        fault_plan=plan,
+    )
+    detection = run_realtime_detection(
+        detect_capture,
+        trained,
+        window_seconds=scenario.window_seconds,
+        degraded_intervals=[
+            (base + start, base + stop) for start, stop in plan.degraded_intervals()
+        ],
+        until=base + detect_duration,
+    )
+    injector = testbed.fault_injector
+    return FaultExperimentResult(
+        scenario=scenario,
+        train_summary=train_capture.summary(),
+        detect_summary=detect_capture.summary(),
+        trained=trained,
+        detection=detection,
+        infection_seconds=infection_seconds,
+        fault_plan=plan,
+        fault_events=list(injector.log) if injector is not None else [],
+        supervisor_events=list(testbed.orchestrator.events),
+        restarts={
+            name: container.restart_count
+            for name, container in testbed.orchestrator.containers.items()
+            if container.restart_count
+        },
+    )
 
 
 def run_full_experiment(

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.faults.plan import FaultPlan, FaultSpec
+
 
 @dataclass(frozen=True)
 class AttackPhase:
@@ -59,6 +61,9 @@ class Scenario:
     # how long a churned device stays offline.
     churn_interval: float = 0.0
     churn_downtime: float = 5.0
+    # Fault injection: applied to every capture phase when set (capture()
+    # also accepts a per-phase plan that overrides this).
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.n_devices < 1:
@@ -100,6 +105,39 @@ class Scenario:
             AttackPhase(start=duration * 0.40, kind="ack", duration=burst, pps_per_bot=pps_per_bot),
             AttackPhase(start=duration * 0.72, kind="udp", duration=burst, pps_per_bot=pps_per_bot),
         ]
+
+    def default_fault_schedule(self, duration: float = 30.0) -> FaultPlan:
+        """The stock "attack under churn" fault plan for a detection run.
+
+        Aligned against :meth:`detection_schedule`: moderate Bernoulli
+        loss spans the first two flood bursts, a link partition severs a
+        device during the second burst, and a device-container crash with
+        ``on-failure`` restart lands between the second and third — so
+        the run exercises every supervision path while attacks fire.
+        """
+        victim = f"dev-{self.n_devices - 1}"
+        return FaultPlan.of(
+            FaultSpec(
+                kind="loss",
+                start=round(duration * 0.10),
+                duration=round(duration * 0.45),
+                rate=0.05,
+            ),
+            FaultSpec(
+                kind="partition",
+                start=round(duration * 0.40),
+                duration=max(2.0, round(duration * 0.12)),
+                targets=("dev-0",),
+            ),
+            FaultSpec(
+                kind="kill",
+                start=round(duration * 0.60),
+                duration=max(2.0, round(duration * 0.10)),
+                targets=(victim,),
+                restart="on-failure",
+            ),
+            seed=self.seed,
+        )
 
 
 #: Attack phases used when none are supplied (kept for doc examples).

@@ -23,6 +23,11 @@ class TestParser:
         assert args.duration == 10.0
         assert args.pcap is True
 
+    def test_faults_defaults(self):
+        args = build_parser().parse_args(["faults", "--devices", "3"])
+        assert args.devices == 3
+        assert args.detect_duration == 30.0
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["teardown"])
@@ -47,6 +52,18 @@ class TestCommands:
         assert (out / "capture.pcap").exists()
         text = capsys.readouterr().out
         assert "malicious" in text
+
+    def test_faults_prints_breakdown(self, capsys):
+        code = main(
+            ["faults", "--devices", "2", "--seed", "5",
+             "--train-duration", "25", "--detect-duration", "12"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault plan" in out
+        assert "supervisor events" in out
+        assert "availability" in out
+        assert "restarts" in out
 
     def test_experiment_prints_tables(self, capsys):
         code = main(

@@ -134,6 +134,66 @@ def test_pending_events_excludes_cancelled():
     assert sim.pending_events == 1
 
 
+class TestHeapCompaction:
+    def test_mass_cancellation_triggers_compaction(self):
+        sim = Simulator()
+        doomed = [sim.schedule(1000.0 + i, lambda: None) for i in range(100)]
+        survivor = []
+        sim.schedule(1.0, survivor.append, "ran")
+        for event in doomed:
+            event.cancel()
+        assert sim.heap_compactions >= 1
+        assert sim.pending_events == 1
+        # The sweep physically removed the bulk of the cancelled events
+        # (the remainder is below the compaction threshold and drains
+        # lazily as the heap is popped).
+        assert len(sim._heap) < 60
+        sim.run()
+        assert survivor == ["ran"]
+
+    def test_small_heaps_are_not_compacted(self):
+        sim = Simulator()
+        events = [sim.schedule(10.0, lambda: None) for _ in range(10)]
+        for event in events:
+            event.cancel()
+        assert sim.heap_compactions == 0
+        assert sim.pending_events == 0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        events = [sim.schedule(10.0, lambda: None) for _ in range(5)]
+        events[0].cancel()
+        events[0].cancel()
+        assert sim.pending_events == 4
+
+    def test_cancel_after_fire_keeps_counter_sane(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        event.cancel()  # already popped: must not touch the heap counter
+        assert sim.pending_events == 0
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 1
+
+    def test_compaction_preserves_execution_order(self):
+        sim = Simulator()
+        seen = []
+        keep = [sim.schedule(float(i), seen.append, i) for i in range(1, 40, 2)]
+        doomed = [sim.schedule(float(i), seen.append, i) for i in range(0, 90, 2)]
+        for event in doomed:
+            event.cancel()
+        sim.run()
+        assert seen == sorted(seen)
+        assert seen == list(range(1, 40, 2))
+
+    def test_clear_resets_cancelled_counter(self):
+        sim = Simulator()
+        event = sim.schedule(5.0, lambda: None)
+        event.cancel()
+        sim.clear()
+        assert sim.pending_events == 0
+
+
 @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))
 def test_property_execution_order_is_sorted(delays):
     """Whatever the scheduling order, execution times are non-decreasing."""

@@ -50,6 +50,25 @@ class TestDropTailQueue:
         queue.dequeue()
         assert (queue.enqueued, queue.dropped, queue.dequeued) == (1, 1, 1)
 
+    def test_clear_counts_flushed(self):
+        queue = DropTailQueue(capacity=8)
+        for _ in range(5):
+            queue.enqueue(pkt())
+        queue.dequeue()
+        queue.clear()
+        assert queue.flushed == 4
+        assert len(queue) == 0
+        assert queue.enqueued == queue.dequeued + queue.flushed + len(queue)
+
+    def test_repeated_clear_accumulates_flushed(self):
+        queue = DropTailQueue(capacity=4)
+        queue.enqueue(pkt())
+        queue.clear()
+        queue.enqueue(pkt())
+        queue.enqueue(pkt())
+        queue.clear()
+        assert queue.flushed == 3
+
     @given(st.lists(st.booleans(), max_size=80), st.integers(1, 10))
     def test_property_occupancy_never_exceeds_capacity(self, ops, capacity):
         """Any enqueue/dequeue interleaving keeps occupancy within bounds."""
@@ -61,6 +80,19 @@ class TestDropTailQueue:
                 queue.dequeue()
             assert 0 <= len(queue) <= capacity
         assert queue.enqueued - queue.dequeued == len(queue)
+
+    @given(st.lists(st.integers(0, 2), max_size=80), st.integers(1, 10))
+    def test_property_conservation_with_flush(self, ops, capacity):
+        """enqueued == dequeued + flushed + occupancy under any op mix."""
+        queue = DropTailQueue(capacity=capacity)
+        for op in ops:
+            if op == 0:
+                queue.enqueue(pkt())
+            elif op == 1:
+                queue.dequeue()
+            else:
+                queue.clear()
+            assert queue.enqueued == queue.dequeued + queue.flushed + len(queue)
 
 
 class TestUnits:

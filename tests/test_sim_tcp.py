@@ -175,6 +175,70 @@ class TestLossRecovery:
         assert received[-1] == 60_000
 
 
+class TestRetransmissionTimer:
+    """RTO backoff behaviour under injected total-loss windows."""
+
+    def _arm_total_loss(self, sim, lan, duration):
+        from repro.faults import FaultInjector, FaultPlan, FaultSpec
+
+        injector = FaultInjector(sim, lan.channel, seed=1)
+        injector.schedule_plan(
+            FaultPlan.of(
+                FaultSpec(kind="loss", start=0.0, duration=duration, rate=1.0)
+            )
+        )
+        return injector
+
+    def test_rto_doubles_per_timeout_up_to_max(self, net):
+        from repro.sim.tcp import RTO_INITIAL, RTO_MAX
+
+        sim, lan = net
+        server, client = lan.add_host("s"), lan.add_host("c")
+        _, csock = connect(sim, lan, server, client)
+        assert csock._rto == RTO_INITIAL
+        self._arm_total_loss(sim, lan, duration=60.0)
+        csock.send(b"x")
+        # Timeouts land at +1, +2, +4, +8 seconds: four doublings capped
+        # at RTO_MAX, with the retry budget (5) not yet exhausted.
+        sim.run(until=sim.now + 20.0)
+        assert csock._rto == RTO_MAX
+        assert csock.retransmissions >= 3
+        assert csock.state is TcpState.ESTABLISHED
+
+    def test_retry_budget_exhaustion_tears_down(self, net):
+        sim, lan = net
+        server, client = lan.add_host("s"), lan.add_host("c")
+        resets = []
+        _, csock = connect(sim, lan, server, client)
+        csock.on_reset = lambda s: resets.append(s)
+        self._arm_total_loss(sim, lan, duration=120.0)
+        csock.send(b"x")
+        sim.run(until=sim.now + 60.0)
+        assert csock.state is TcpState.CLOSED
+        assert resets
+
+    def test_connection_survives_loss_window_and_resets_rto(self, net):
+        from repro.sim.tcp import RTO_INITIAL
+
+        sim, lan = net
+        server, client = lan.add_host("s"), lan.add_host("c")
+        received = []
+        _, csock = connect(
+            sim, lan, server, client,
+            on_server_data=lambda s, p, n, a: received.append(n),
+        )
+        # A 6-second blackout is shorter than the ~31s retry budget: the
+        # transfer must stall, retransmit through, and complete.
+        self._arm_total_loss(sim, lan, duration=6.0)
+        csock.send(length=5_000)
+        sim.run(until=sim.now + 30.0)
+        assert sum(received) == 5_000
+        assert csock.retransmissions > 0
+        assert csock.state is TcpState.ESTABLISHED
+        # A successful ACK resets the backoff to the initial RTO.
+        assert csock._rto == RTO_INITIAL
+
+
 class TestTeardown:
     def test_fin_close_both_sides(self, net):
         sim, lan = net
