@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Time the feature pipeline: legacy per-record vs vectorized columnar.
+
+Runs offline `FeatureExtractor.transform` and per-window IDS latency on
+a synthetic capture (default 100k packets) and writes the results to
+``BENCH_features.json`` at the repo root.  ``--smoke`` runs a tiny
+capture for CI (seconds, exercises the vectorized path end to end
+including the legacy-equivalence assertion, but makes no speedup claim).
+
+    PYTHONPATH=src python benchmarks/bench_features.py
+    PYTHONPATH=src python benchmarks/bench_features.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.features.bench import format_benchmark, run_feature_benchmark, write_benchmark
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_features.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--packets", type=int, default=100_000)
+    parser.add_argument("--duration", type=float, default=100.0)
+    parser.add_argument("--window-seconds", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny capture for CI: fast, correctness-focused, no perf claim",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.packets = min(args.packets, 2_000)
+        args.duration = min(args.duration, 20.0)
+        args.repeats = 1
+    result = run_feature_benchmark(
+        n_packets=args.packets,
+        duration=args.duration,
+        window_seconds=args.window_seconds,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    result["smoke"] = args.smoke
+    path = write_benchmark(result, args.out)
+    print(format_benchmark(result))
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

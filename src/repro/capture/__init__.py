@@ -18,6 +18,7 @@ from repro.capture.analysis import (
     top_talkers,
 )
 from repro.capture.dataset import DatasetSummary, TrafficDataset
+from repro.capture.synthetic import synthetic_capture
 
 __all__ = [
     "AttackInterval",
@@ -29,5 +30,6 @@ __all__ = [
     "analyze",
     "attack_intervals",
     "rate_series",
+    "synthetic_capture",
     "top_talkers",
 ]

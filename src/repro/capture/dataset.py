@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
+from repro.features.columnar import RecordBatch
 from repro.sim.tracing import PacketRecord
 
 _CSV_FIELDS = [
@@ -63,6 +64,18 @@ class TrafficDataset:
 
     def __init__(self, records: Sequence[PacketRecord]) -> None:
         self.records = list(records)
+        self._batch: RecordBatch | None = None
+
+    def to_batch(self) -> RecordBatch:
+        """The capture as a columnar :class:`RecordBatch` (cached).
+
+        This is what the feature pipeline consumes; building it once per
+        capture amortises the row→column conversion across every model's
+        extraction pass.
+        """
+        if self._batch is None or len(self._batch) != len(self.records):
+            self._batch = RecordBatch.from_records(self.records)
+        return self._batch
 
     def __len__(self) -> int:
         return len(self.records)

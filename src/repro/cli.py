@@ -11,7 +11,9 @@ Four commands cover the testbed's day-to-day uses:
 * ``ddoshield dataset`` — generate a labelled capture and export CSV
   (and optionally pcap);
 * ``ddoshield inventory`` — build the Figure 1 topology, run the Mirai
-  lifecycle, and print the live component inventory.
+  lifecycle, and print the live component inventory;
+* ``ddoshield bench-features`` — time the vectorized feature pipeline
+  against the legacy per-record path and write ``BENCH_features.json``.
 """
 
 from __future__ import annotations
@@ -112,6 +114,26 @@ def cmd_inventory(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_features(args: argparse.Namespace) -> int:
+    from repro.features.bench import (
+        format_benchmark,
+        run_feature_benchmark,
+        write_benchmark,
+    )
+
+    result = run_feature_benchmark(
+        n_packets=args.packets,
+        duration=args.duration,
+        window_seconds=args.window_seconds,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    print(format_benchmark(result))
+    if args.out:
+        print(f"wrote {write_benchmark(result, args.out)}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ddoshield",
@@ -143,6 +165,17 @@ def build_parser() -> argparse.ArgumentParser:
     inventory = sub.add_parser("inventory", help="build the topology and list components")
     _add_scenario_args(inventory)
     inventory.set_defaults(fn=cmd_inventory)
+
+    bench = sub.add_parser(
+        "bench-features", help="benchmark the vectorized feature pipeline"
+    )
+    bench.add_argument("--packets", type=int, default=100_000)
+    bench.add_argument("--duration", type=float, default=100.0)
+    bench.add_argument("--window-seconds", type=float, default=1.0)
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--out", default="BENCH_features.json")
+    bench.set_defaults(fn=cmd_bench_features)
     return parser
 
 

@@ -9,14 +9,26 @@ connection attempts, SYN-without-ACK counts, flow rates, and
 sequence-number variance.  :class:`~repro.features.pipeline.FeatureExtractor`
 combines them into the model-ready matrix where, exactly as in the paper,
 the statistical features are identical for every packet inside a window.
+
+The hot path is columnar (:mod:`repro.features.columnar`): captures are
+held as a :class:`~repro.features.columnar.RecordBatch` struct-of-arrays
+and every statistic is computed with NumPy array operations; the
+per-record helpers remain as the validated reference semantics.
 """
 
 from repro.features.basic import BASIC_FEATURE_NAMES, basic_features
+from repro.features.columnar import (
+    RecordBatch,
+    as_batch,
+    basic_features_batch,
+    compute_batch_statistics,
+)
 from repro.features.pipeline import FeatureExtractor
 from repro.features.statistical import (
     STATISTICAL_FEATURE_NAMES,
     WindowStatistics,
     compute_window_statistics,
+    compute_window_statistics_legacy,
     shannon_entropy,
 )
 from repro.features.window import WindowAggregator, iter_windows
@@ -24,11 +36,16 @@ from repro.features.window import WindowAggregator, iter_windows
 __all__ = [
     "BASIC_FEATURE_NAMES",
     "FeatureExtractor",
+    "RecordBatch",
     "STATISTICAL_FEATURE_NAMES",
     "WindowAggregator",
     "WindowStatistics",
+    "as_batch",
     "basic_features",
+    "basic_features_batch",
+    "compute_batch_statistics",
     "compute_window_statistics",
+    "compute_window_statistics_legacy",
     "iter_windows",
     "shannon_entropy",
 ]

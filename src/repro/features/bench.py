@@ -1,0 +1,135 @@
+"""Feature-pipeline benchmark: legacy per-record vs vectorized columnar.
+
+Times the two costs that dominate every experiment — offline
+``FeatureExtractor.transform`` over a whole capture (training-set
+generation) and per-window ``transform_window`` latency (the real-time
+IDS hot path) — on a synthetic capture, and reports the speedup of the
+columnar path over the preserved per-record implementation.  Results are
+written as JSON (``BENCH_features.json``) so the perf trajectory of the
+pipeline is recorded run over run.
+
+Run via ``python benchmarks/bench_features.py`` or
+``ddoshield bench-features``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.capture.synthetic import synthetic_capture
+from repro.features.columnar import RecordBatch
+from repro.features.pipeline import FeatureExtractor
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best-of-N wall time in seconds (min is the least noisy estimator)."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_feature_benchmark(
+    n_packets: int = 100_000,
+    duration: float = 100.0,
+    window_seconds: float = 1.0,
+    seed: int = 7,
+    repeats: int = 3,
+    stat_set: str | Sequence[str] = "extended",
+) -> dict:
+    """Benchmark offline extraction and per-window latency; return results."""
+    capture = synthetic_capture(n_packets, duration=duration, seed=seed)
+    extractor = FeatureExtractor(
+        window_seconds=window_seconds, include_details=True, stat_set=stat_set
+    )
+    records = capture.records
+    batch = capture.to_batch()
+
+    # Offline path: whole-capture transform (training-set generation).
+    legacy_transform = _best_of(lambda: extractor.transform_legacy(records), repeats)
+    vector_transform = _best_of(lambda: extractor.transform(batch), repeats)
+
+    # Sanity: both paths must produce the same matrix before we compare
+    # their timings — a fast wrong answer is not a speedup.
+    X_legacy, y_legacy, w_legacy = extractor.transform_legacy(records)
+    X_vector, y_vector, w_vector = extractor.transform(batch)
+    np.testing.assert_allclose(X_vector, X_legacy, atol=1e-9, rtol=0)
+    np.testing.assert_array_equal(y_vector, y_legacy)
+    np.testing.assert_array_equal(w_vector, w_legacy)
+
+    # Real-time path: per-window latency over every window of the capture.
+    windows = list(batch.window_slices(window_seconds))
+    record_windows = [w.to_records() for _, w in windows]
+
+    def run_vector() -> None:
+        for _, window in windows:
+            extractor.transform_window(window)
+
+    def run_legacy() -> None:
+        for bucket in record_windows:
+            extractor.transform_window_legacy(bucket)
+
+    legacy_window_total = _best_of(run_legacy, repeats)
+    vector_window_total = _best_of(run_vector, repeats)
+    n_windows = max(1, len(windows))
+
+    build_seconds = _best_of(lambda: RecordBatch.from_records(records), 1)
+
+    return {
+        "n_packets": n_packets,
+        "n_windows": len(windows),
+        "duration_seconds": duration,
+        "window_seconds": window_seconds,
+        "n_features": extractor.n_features,
+        "seed": seed,
+        "repeats": repeats,
+        "batch_build_seconds": build_seconds,
+        "offline_transform": {
+            "legacy_seconds": legacy_transform,
+            "vectorized_seconds": vector_transform,
+            "speedup": legacy_transform / vector_transform,
+            "vectorized_packets_per_second": n_packets / vector_transform,
+        },
+        "per_window_latency": {
+            "legacy_mean_ms": 1000.0 * legacy_window_total / n_windows,
+            "vectorized_mean_ms": 1000.0 * vector_window_total / n_windows,
+            "speedup": legacy_window_total / vector_window_total,
+        },
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+def write_benchmark(result: dict, path: str | Path) -> Path:
+    """Persist benchmark results as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    return path
+
+
+def format_benchmark(result: dict) -> str:
+    """Human-readable one-screen summary of a benchmark result."""
+    offline = result["offline_transform"]
+    window = result["per_window_latency"]
+    return "\n".join(
+        [
+            f"feature pipeline benchmark — {result['n_packets']} packets, "
+            f"{result['n_windows']} windows, {result['n_features']} features",
+            f"  offline transform: legacy {offline['legacy_seconds']:.3f}s "
+            f"→ vectorized {offline['vectorized_seconds']:.3f}s "
+            f"({offline['speedup']:.1f}×, "
+            f"{offline['vectorized_packets_per_second']:.0f} pkt/s)",
+            f"  per-window latency: legacy {window['legacy_mean_ms']:.3f}ms "
+            f"→ vectorized {window['vectorized_mean_ms']:.3f}ms "
+            f"({window['speedup']:.1f}×)",
+            f"  batch build: {result['batch_build_seconds']:.3f}s",
+        ]
+    )

@@ -143,9 +143,26 @@ class WindowStatistics:
 
 
 def compute_window_statistics(
+    records: "Sequence[PacketRecord] | RecordBatch", window_seconds: float = 1.0
+) -> WindowStatistics:
+    """Compute all §IV-A statistics over one window's packets.
+
+    Accepts either a :class:`~repro.features.columnar.RecordBatch` (the
+    fast path — no conversion) or any sequence of records, which is
+    coerced to a batch first.  Both routes run the vectorized
+    implementation; :func:`compute_window_statistics_legacy` keeps the
+    original per-record walk as the reference the test suite validates
+    against.
+    """
+    from repro.features.columnar import as_batch, compute_batch_statistics
+
+    return compute_batch_statistics(as_batch(records), window_seconds)
+
+
+def compute_window_statistics_legacy(
     records: Sequence[PacketRecord], window_seconds: float = 1.0
 ) -> WindowStatistics:
-    """Compute all §IV-A statistics over one window's packets."""
+    """Reference per-record implementation (validation and benchmarking)."""
     if not records:
         return WindowStatistics.zeros()
 

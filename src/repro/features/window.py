@@ -1,7 +1,17 @@
-"""Time-window assignment for streaming and offline feature extraction."""
+"""Time-window assignment for streaming and offline feature extraction.
+
+Both entry points tolerate out-of-order input (which PR 1's jitter
+faults produce on real taps): :func:`iter_windows` stable-sorts a
+disordered capture before grouping, and :class:`WindowAggregator`
+buffers records inside a configurable reorder horizon, emitting each
+window only once it can no longer receive stragglers.  Records arriving
+for a window that has already been emitted are dropped and counted
+rather than silently filed into the wrong window.
+"""
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Callable, Iterator, Sequence
 
 from repro.sim.tracing import PacketRecord
@@ -10,16 +20,24 @@ from repro.sim.tracing import PacketRecord
 def iter_windows(
     records: Sequence[PacketRecord], window_seconds: float = 1.0
 ) -> Iterator[tuple[int, list[PacketRecord]]]:
-    """Group chronologically-ordered records into fixed windows.
+    """Group records into fixed windows, sorting disordered input first.
 
     Yields ``(window_index, records)`` for every *non-empty* window, where
-    ``window_index = floor(timestamp / window_seconds)``.
+    ``window_index = floor(timestamp / window_seconds)``.  Out-of-order
+    input is stable-sorted by timestamp, so a jittered replay produces
+    exactly the window assignment of the sorted capture.
     """
     if window_seconds <= 0:
         raise ValueError(f"window_seconds must be positive, got {window_seconds}")
+    ordered = list(records)
+    if any(
+        ordered[i].timestamp > ordered[i + 1].timestamp
+        for i in range(len(ordered) - 1)
+    ):
+        ordered.sort(key=lambda r: r.timestamp)
     current_index: int | None = None
     bucket: list[PacketRecord] = []
-    for record in records:
+    for record in ordered:
         index = int(record.timestamp // window_seconds)
         if current_index is None:
             current_index = index
@@ -35,41 +53,78 @@ def iter_windows(
 class WindowAggregator:
     """Streaming window assembler for the real-time IDS.
 
-    Feed records with :meth:`add`; whenever a record crosses into a new
-    window, the completed window is handed to ``on_window(index, records)``.
-    Call :meth:`flush` at end of capture to emit the final partial window.
+    Feed records with :meth:`add`; a window is handed to
+    ``on_window(index, records)`` once the stream has advanced past its
+    end by at least ``reorder_horizon`` seconds, so late-but-tolerable
+    stragglers (network jitter, tap scheduling) are sorted into their
+    true window instead of being filed into whichever bucket was open.
+    Records older than an already-emitted window cannot be re-windowed;
+    they are dropped and counted in ``records_dropped_late``.
+    ``records_reordered`` counts every record that arrived behind a
+    newer timestamp.  Call :meth:`flush` at end of capture to emit the
+    remaining buffered windows.
     """
 
     def __init__(
         self,
         window_seconds: float,
         on_window: Callable[[int, list[PacketRecord]], None],
+        reorder_horizon: float = 0.0,
     ) -> None:
         if window_seconds <= 0:
             raise ValueError(f"window_seconds must be positive, got {window_seconds}")
+        if reorder_horizon < 0:
+            raise ValueError(
+                f"reorder_horizon must be non-negative, got {reorder_horizon}"
+            )
         self.window_seconds = window_seconds
         self.on_window = on_window
-        self._current_index: int | None = None
-        self._bucket: list[PacketRecord] = []
+        self.reorder_horizon = reorder_horizon
+        self._pending: list[PacketRecord] = []  # always timestamp-sorted
+        self._max_timestamp: float | None = None
+        self._next_index: int | None = None  # first index not yet emitted
         self.windows_emitted = 0
+        self.records_reordered = 0
+        self.records_dropped_late = 0
+
+    def _index_of(self, record: PacketRecord) -> int:
+        return int(record.timestamp // self.window_seconds)
 
     def add(self, record: PacketRecord) -> None:
-        index = int(record.timestamp // self.window_seconds)
-        if self._current_index is None:
-            self._current_index = index
-        if index != self._current_index:
-            self._emit()
-            self._current_index = index
-        self._bucket.append(record)
+        if self._next_index is not None and self._index_of(record) < self._next_index:
+            # Its window was already emitted; re-windowing would corrupt
+            # the per-second timeline, so drop it — visibly.
+            self.records_dropped_late += 1
+            return
+        if self._max_timestamp is not None and record.timestamp < self._max_timestamp:
+            self.records_reordered += 1
+            insort(self._pending, record, key=lambda r: r.timestamp)
+        else:
+            self._pending.append(record)
+            self._max_timestamp = record.timestamp
+        # Emit every window that can no longer receive stragglers: those
+        # ending at or before (newest timestamp - horizon).
+        assert self._max_timestamp is not None
+        safe_limit = int(
+            (self._max_timestamp - self.reorder_horizon) // self.window_seconds
+        )
+        self._emit_through(safe_limit)
 
     def flush(self) -> None:
-        """Emit any buffered partial window."""
-        if self._bucket:
-            self._emit()
-            self._current_index = None
+        """Emit all buffered windows (end of capture)."""
+        self._emit_through(None)
 
-    def _emit(self) -> None:
-        bucket, self._bucket = self._bucket, []
-        self.windows_emitted += 1
-        assert self._current_index is not None
-        self.on_window(self._current_index, bucket)
+    def _emit_through(self, limit: int | None) -> None:
+        """Emit buffered complete windows with index < ``limit`` (all if None)."""
+        while self._pending:
+            index = self._index_of(self._pending[0])
+            if limit is not None and index >= limit:
+                return
+            cut = 1
+            while cut < len(self._pending) and self._index_of(self._pending[cut]) == index:
+                cut += 1
+            bucket = self._pending[:cut]
+            del self._pending[:cut]
+            self._next_index = index + 1
+            self.windows_emitted += 1
+            self.on_window(index, bucket)

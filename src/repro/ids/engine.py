@@ -12,10 +12,12 @@ window's compute is metered for Table II.
 
 from __future__ import annotations
 
+import math
 from typing import Protocol, Sequence
 
 import numpy as np
 
+from repro.features.columnar import RecordBatch
 from repro.features.pipeline import FeatureExtractor
 from repro.features.window import WindowAggregator
 from repro.ids.meter import ResourceMeter
@@ -125,11 +127,12 @@ class RealTimeIds:
         if not records:
             self._emit_outage(index)
             return
-        labels = np.array([r.label for r in records], dtype=int)
+        batch = RecordBatch.from_records(records)
+        labels = batch.label.astype(int)
         status = STATUS_DEGRADED if self._window_degraded(index) else STATUS_HEALTHY
         self.meter.start_window()
         try:
-            X = self.extractor.transform_window(records)
+            X = self.extractor.transform_window(batch)
             X = self.scaler.transform(X)
             predictions = np.asarray(self.model.predict(X), dtype=int)
         except Exception:
@@ -169,12 +172,33 @@ class RealTimeIds:
         self.monitor.replay(records)
         return self.finish(until=until)
 
+    @property
+    def records_reordered(self) -> int:
+        """Out-of-order records the aggregator sorted into their true window."""
+        return self._aggregator.records_reordered
+
+    @property
+    def records_dropped_late(self) -> int:
+        """Records dropped because their window had already been emitted."""
+        return self._aggregator.records_dropped_late
+
     def finish(self, until: float | None = None) -> DetectionReport:
-        """Flush the final partial window and attach sustainability."""
+        """Flush the final partial window and attach sustainability.
+
+        With ``until`` given, every window in ``[0, until)`` the tap
+        never saw gets an explicit degraded verdict — including the
+        trailing *partial* window (``until`` lands mid-window) and the
+        total-blackout case where the IDS saw no packets at all.
+        """
         self._aggregator.flush()
-        if until is not None and self._last_index is not None:
-            final_index = int(until / self.window_seconds)
-            for missing in range(self._last_index + 1, final_index):
+        if until is not None:
+            # Ceil with a small tolerance: until exactly on a window
+            # boundary (even when the float product lands a hair above
+            # it) must not conjure an extra empty window, while any
+            # genuinely live partial window must get a verdict.
+            final_index = max(0, math.ceil(until / self.window_seconds - 1e-9))
+            start = 0 if self._last_index is None else self._last_index + 1
+            for missing in range(start, final_index):
                 self._emit_outage(missing)
                 self._last_index = missing
         self.report.sustainability = self.meter.finalize(model_size_kb(self.model))

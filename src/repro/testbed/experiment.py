@@ -149,7 +149,8 @@ def train_models(
     trained: list[TrainedModel] = []
     for spec in specs:
         extractor = spec.make_extractor(window_seconds)
-        X, y, _ = extractor.transform(dataset.records)
+        # One columnar batch per capture, shared by every model's pass.
+        X, y, _ = extractor.transform(dataset.to_batch())
         if len(np.unique(y)) < 2:
             raise ValueError("training capture contains only one class")
         X_train, X_test, y_train, y_test = train_test_split(

@@ -197,6 +197,24 @@ class TestIterWindows:
         with pytest.raises(ValueError):
             list(iter_windows([], 0.0))
 
+    def test_unsorted_input_matches_sorted(self):
+        """The ordering guard: a jittered capture groups identically to
+        its sorted counterpart instead of splitting/mislabeling windows."""
+        rng = np.random.default_rng(9)
+        times = rng.uniform(0, 5, 60)
+        records = [record(ts=float(t), sport=i) for i, t in enumerate(times)]
+        records_sorted = sorted(records, key=lambda r: r.timestamp)
+        unsorted_windows = {
+            i: sorted(r.src_port for r in bucket)
+            for i, bucket in iter_windows(records, 1.0)
+        }
+        sorted_windows = {
+            i: sorted(r.src_port for r in bucket)
+            for i, bucket in iter_windows(records_sorted, 1.0)
+        }
+        assert unsorted_windows == sorted_windows
+        assert sorted(unsorted_windows) == list(unsorted_windows)
+
     @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50))
     def test_property_no_packet_lost(self, times):
         records = [record(ts=t) for t in sorted(times)]
@@ -225,6 +243,95 @@ class TestWindowAggregator:
     def test_invalid_window_rejected(self):
         with pytest.raises(ValueError):
             WindowAggregator(-1.0, lambda i, r: None)
+        with pytest.raises(ValueError):
+            WindowAggregator(1.0, lambda i, r: None, reorder_horizon=-0.5)
+
+    def test_reordered_record_filed_into_true_window(self):
+        """An out-of-order record inside the horizon lands in its own
+        window, not whichever bucket happened to be open."""
+        emitted = {}
+        agg = WindowAggregator(
+            1.0, lambda i, recs: emitted.__setitem__(i, recs), reorder_horizon=0.5
+        )
+        for t in (0.2, 1.1, 0.8, 1.4, 2.9):  # 0.8 arrives late
+            agg.add(record(ts=t))
+        agg.flush()
+        assert sorted(emitted) == [0, 1, 2]
+        assert [r.timestamp for r in emitted[0]] == [0.2, 0.8]
+        assert [r.timestamp for r in emitted[1]] == [1.1, 1.4]
+        assert agg.records_reordered == 1
+        assert agg.records_dropped_late == 0
+
+    def test_jittered_stream_matches_sorted_assignment(self):
+        rng = np.random.default_rng(12)
+        times = np.sort(rng.uniform(0, 6, 120))
+        jittered = times + rng.uniform(-0.3, 0.3, 120)  # bounded reorder
+        order = np.argsort(times, kind="stable")
+
+        def run(stream_times, horizon):
+            emitted = {}
+            agg = WindowAggregator(
+                1.0,
+                lambda i, recs: emitted.__setitem__(i, [r.src_port for r in recs]),
+                reorder_horizon=horizon,
+            )
+            for sport, t in stream_times:
+                agg.add(record(ts=max(0.0, float(t)), sport=sport))
+            agg.flush()
+            return emitted, agg
+
+        # Identity of each record is its src_port; deliver in jittered
+        # arrival order vs sorted order and compare window assignment.
+        arrival = sorted(enumerate(jittered), key=lambda item: item[1])
+        by_jittered_arrival = [
+            (i, max(0.0, float(times[i]))) for i, _ in arrival
+        ]
+        by_sorted = [(int(i), max(0.0, float(times[i]))) for i in order]
+        jittered_windows, agg = run(by_jittered_arrival, horizon=0.6)
+        sorted_windows, _ = run(by_sorted, horizon=0.0)
+        assert {k: sorted(v) for k, v in jittered_windows.items()} == {
+            k: sorted(v) for k, v in sorted_windows.items()
+        }
+        assert agg.records_dropped_late == 0
+
+    def test_too_late_record_dropped_with_counter(self):
+        emitted = []
+        agg = WindowAggregator(1.0, lambda i, recs: emitted.append((i, len(recs))))
+        agg.add(record(ts=0.5))
+        agg.add(record(ts=3.2))  # emits window 0
+        agg.add(record(ts=0.7))  # window 0 already emitted: dropped
+        agg.flush()
+        assert agg.records_dropped_late == 1
+        assert emitted == [(0, 1), (3, 1)]
+
+    def test_emission_order_strictly_increasing_under_jitter(self):
+        indices = []
+        agg = WindowAggregator(
+            1.0, lambda i, recs: indices.append(i), reorder_horizon=0.5
+        )
+        rng = np.random.default_rng(7)
+        times = rng.uniform(0, 10, 200)
+        times = np.clip(np.sort(times) + rng.uniform(-0.4, 0.4, 200), 0, None)
+        for t in times:
+            agg.add(record(ts=float(t)))
+        agg.flush()
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)
+
+    def test_no_packet_lost_or_duplicated_within_horizon(self):
+        counts = []
+        agg = WindowAggregator(
+            1.0, lambda i, recs: counts.append(len(recs)), reorder_horizon=1.0
+        )
+        rng = np.random.default_rng(3)
+        # Jitter of ±0.4 displaces a timestamp at most 0.8s behind the
+        # stream maximum, so a 1.0s horizon must lose nothing.
+        times = np.clip(np.sort(rng.uniform(0, 5, 80)) + rng.uniform(-0.4, 0.4, 80), 0, None)
+        for t in times:
+            agg.add(record(ts=float(t)))
+        agg.flush()
+        assert sum(counts) + agg.records_dropped_late == 80
+        assert agg.records_dropped_late == 0  # horizon covers the jitter
 
 
 class TestFeatureExtractor:

@@ -146,6 +146,68 @@ class TestRealTimeIds:
         assert report.n_windows == 3
 
 
+class TestFinishOutageAccounting:
+    """Regression tests for the trailing-outage fixes in finish(until=...)."""
+
+    def test_total_blackout_yields_all_degraded_report(self):
+        """Zero packets for the whole run must produce degraded verdicts
+        covering [0, until), not an empty report."""
+        ids = RealTimeIds(ConstantModel(0), "m")
+        report = ids.process([], until=5.0)
+        assert report.n_windows == 5
+        assert [w.window_index for w in report.windows] == [0, 1, 2, 3, 4]
+        assert all(w.is_degraded and w.n_packets == 0 for w in report.windows)
+        assert report.availability == 0.0
+
+    def test_final_partial_window_gets_verdict(self):
+        """until=9.5 with packets only in window 0: windows 1..9 were
+        live (window 9 partially) and all need verdicts."""
+        ids = RealTimeIds(ConstantModel(0), "m")
+        report = ids.process([record(0.5)], until=9.5)
+        assert [w.window_index for w in report.windows] == list(range(10))
+        assert report.windows[9].is_degraded
+
+    def test_until_exactly_on_boundary(self):
+        """until=10.0: windows 0..9 only — no phantom window 10."""
+        ids = RealTimeIds(ConstantModel(0), "m")
+        report = ids.process([record(0.5)], until=10.0)
+        assert [w.window_index for w in report.windows] == list(range(10))
+
+    def test_until_just_above_boundary_is_robust(self):
+        """A float hair above the boundary must not conjure an extra
+        empty window."""
+        ids = RealTimeIds(ConstantModel(0), "m")
+        report = ids.process([record(0.5)], until=10.0 + 1e-12)
+        assert [w.window_index for w in report.windows] == list(range(10))
+
+    def test_until_just_below_boundary(self):
+        ids = RealTimeIds(ConstantModel(0), "m")
+        report = ids.process([record(0.5)], until=9.999)
+        assert [w.window_index for w in report.windows] == list(range(10))
+
+    def test_until_before_last_seen_window_adds_nothing(self):
+        ids = RealTimeIds(ConstantModel(0), "m")
+        report = ids.process(make_stream(4), until=2.0)
+        assert report.n_windows == 4
+
+    def test_fractional_window_seconds(self):
+        ids = RealTimeIds(ConstantModel(0), "m", window_seconds=0.5)
+        report = ids.process([record(0.1)], until=1.25)
+        # Windows: [0, .5) seen, [.5, 1) and [1, 1.25) outages.
+        assert [w.window_index for w in report.windows] == [0, 1, 2]
+
+    def test_blackout_without_until_stays_empty(self):
+        ids = RealTimeIds(ConstantModel(0), "m")
+        report = ids.process([])
+        assert report.n_windows == 0
+
+    def test_reorder_counters_exposed(self):
+        ids = RealTimeIds(ConstantModel(0), "m")
+        ids.process(make_stream(2))
+        assert ids.records_reordered == 0
+        assert ids.records_dropped_late == 0
+
+
 class TestResourceMeter:
     def test_accumulates_cpu_and_memory(self):
         meter = ResourceMeter(window_seconds=1.0)
