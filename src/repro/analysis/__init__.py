@@ -1,0 +1,48 @@
+"""Correctness tooling for the testbed: determinism linter + sanitizers.
+
+The paper's evaluation (per-second accuracy timelines, resource tables)
+is only meaningful when the same seed reproduces the same packet
+schedule.  This subpackage defends that property on two fronts:
+
+* **static** — :mod:`repro.analysis.rules` / :mod:`repro.analysis.walker`
+  implement an AST determinism linter (``ddoshield lint``) that flags
+  unseeded global RNG use, wall-clock reads, unordered ``set`` iteration,
+  float equality against simulation time, mutable default arguments and
+  ``id()``-based tie-breaking, with ``# repro: lint-ok[rule-id]``
+  suppressions and a committed baseline (:mod:`repro.analysis.baseline`);
+* **dynamic** — :mod:`repro.analysis.sanitizers` provides opt-in runtime
+  invariant checkers (``Simulator(sanitize=True)`` / ``REPRO_SANITIZE=1``)
+  for event-time monotonicity, queue/channel packet conservation,
+  socket/port leaks at teardown, and resource-accounting consistency.
+"""
+
+from repro.analysis.baseline import Baseline, diff_findings
+from repro.analysis.report import Finding, LintReport, format_json, format_text
+from repro.analysis.rules import RULES, Rule, iter_rules, rule
+from repro.analysis.sanitizers import (
+    Sanitizer,
+    SanitizerError,
+    Violation,
+    sanitize_mode_from_env,
+)
+from repro.analysis.walker import LintContext, lint_paths, lint_source
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "Sanitizer",
+    "SanitizerError",
+    "Violation",
+    "diff_findings",
+    "format_json",
+    "format_text",
+    "iter_rules",
+    "lint_paths",
+    "lint_source",
+    "rule",
+    "sanitize_mode_from_env",
+]

@@ -1,0 +1,103 @@
+"""Committed lint baseline: only *new* findings fail a run.
+
+The baseline (``analysis/baseline.json``) records the fingerprint of
+every accepted finding plus an optional justification.  Fingerprints
+hash the rule, file and source snippet — not the line number — so
+unrelated edits do not invalidate entries; entries whose code was fixed
+become *stale* and are pruned on ``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.report import Finding, LintReport, fingerprint_all
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A set of accepted findings keyed by fingerprint."""
+
+    entries: dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        file = Path(path)
+        if not file.exists():
+            return cls()
+        payload = json.loads(file.read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {file} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        entries = {item["fingerprint"]: item for item in payload.get("findings", [])}
+        return cls(entries=entries)
+
+    def save(self, path: str | Path) -> Path:
+        file = Path(path)
+        file.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": [
+                self.entries[key] for key in sorted(self.entries)
+            ],
+        }
+        file.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return file
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], justifications: dict[str, str] | None = None
+    ) -> "Baseline":
+        """Build a baseline accepting every current finding.
+
+        ``justifications`` maps fingerprints to human explanations;
+        existing justifications are preserved by the CLI when updating.
+        """
+        justifications = justifications or {}
+        entries: dict[str, dict] = {}
+        for fingerprint, finding in fingerprint_all(findings).items():
+            entries[fingerprint] = {
+                "fingerprint": fingerprint,
+                "rule_id": finding.rule_id,
+                "path": finding.path,
+                "snippet": finding.snippet,
+                "justification": justifications.get(fingerprint, ""),
+            }
+        return cls(entries=entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def diff_findings(
+    findings: list[Finding],
+    baseline: Baseline,
+    suppressed: int = 0,
+    files_checked: int = 0,
+) -> LintReport:
+    """Split findings into new vs baselined, and spot stale entries."""
+    fingerprinted = fingerprint_all(findings)
+    new: list[Finding] = []
+    known: list[Finding] = []
+    for fingerprint, finding in fingerprinted.items():
+        (known if fingerprint in baseline else new).append(finding)
+    stale = sorted(set(baseline.entries) - set(fingerprinted))
+    return LintReport(
+        findings=list(findings),
+        new=sorted(new, key=lambda f: (f.path, f.line, f.col)),
+        baselined=sorted(known, key=lambda f: (f.path, f.line, f.col)),
+        suppressed=suppressed,
+        stale_fingerprints=stale,
+        files_checked=files_checked,
+    )

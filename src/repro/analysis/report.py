@@ -1,0 +1,115 @@
+"""Lint findings and their text / JSON renderings.
+
+A :class:`Finding` is one determinism hazard at a file:line.  Its
+:meth:`~Finding.fingerprint` deliberately hashes the *source snippet*
+rather than the line number, so unrelated edits above a baselined
+finding do not churn the baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One determinism hazard located by a lint rule."""
+
+    rule_id: str
+    severity: str  # "error" | "warning"
+    path: str  # repo-relative, POSIX separators
+    line: int
+    col: int
+    message: str
+    hint: str
+    snippet: str  # the stripped source line the finding sits on
+
+    def fingerprint(self) -> str:
+        """Stable identity for baselining: rule + file + code, not line.
+
+        Two findings of the same rule on identical source lines in one
+        file share a prefix; callers disambiguate with an occurrence
+        index (see :func:`fingerprint_all`).
+        """
+        digest = hashlib.sha1(
+            f"{self.rule_id}|{self.path}|{self.snippet}".encode()
+        ).hexdigest()
+        return digest[:16]
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+def fingerprint_all(findings: list[Finding]) -> dict[str, Finding]:
+    """Map each finding to a unique fingerprint.
+
+    Duplicate (rule, file, snippet) triples — e.g. the same hazardous
+    expression repeated in a file — get ``#1``, ``#2`` … suffixes in
+    line order, keeping identities stable under unrelated edits.
+    """
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    seen: dict[str, int] = {}
+    result: dict[str, Finding] = {}
+    for finding in ordered:
+        base = finding.fingerprint()
+        count = seen.get(base, 0)
+        seen[base] = count + 1
+        key = base if count == 0 else f"{base}#{count}"
+        result[key] = finding
+    return result
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run, after baseline filtering."""
+
+    findings: list[Finding] = field(default_factory=list)  # all, unsuppressed
+    new: list[Finding] = field(default_factory=list)  # not in the baseline
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: int = 0  # silenced by inline lint-ok comments
+    stale_fingerprints: list[str] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no *new* (non-baselined) findings remain."""
+        return not self.new
+
+
+def format_text(report: LintReport) -> str:
+    """Human-readable rendering, one finding per line plus a summary."""
+    lines: list[str] = []
+    for finding in sorted(report.new, key=lambda f: (f.path, f.line, f.col)):
+        lines.append(
+            f"{finding.location()}: {finding.severity} "
+            f"[{finding.rule_id}] {finding.message}"
+        )
+        lines.append(f"    hint: {finding.hint}")
+        lines.append(f"    >>> {finding.snippet}")
+    lines.append(
+        f"{len(report.new)} new finding(s), {len(report.baselined)} baselined, "
+        f"{report.suppressed} suppressed, {report.files_checked} file(s) checked"
+    )
+    if report.stale_fingerprints:
+        lines.append(
+            f"note: {len(report.stale_fingerprints)} stale baseline entr(y/ies) "
+            "no longer match any finding — refresh with --update-baseline"
+        )
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    """Machine-readable rendering for CI."""
+    payload = {
+        "ok": report.ok,
+        "files_checked": report.files_checked,
+        "suppressed": report.suppressed,
+        "new": [asdict(f) for f in sorted(report.new, key=lambda f: (f.path, f.line))],
+        "baselined": [
+            asdict(f) for f in sorted(report.baselined, key=lambda f: (f.path, f.line))
+        ],
+        "stale_fingerprints": sorted(report.stale_fingerprints),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -13,7 +13,9 @@ Four commands cover the testbed's day-to-day uses:
 * ``ddoshield inventory`` — build the Figure 1 topology, run the Mirai
   lifecycle, and print the live component inventory;
 * ``ddoshield bench-features`` — time the vectorized feature pipeline
-  against the legacy per-record path and write ``BENCH_features.json``.
+  against the legacy per-record path and write ``BENCH_features.json``;
+* ``ddoshield lint`` — run the determinism linter (repro.analysis) over
+  the source tree against the committed baseline.
 """
 
 from __future__ import annotations
@@ -134,6 +136,35 @@ def cmd_bench_features(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        Baseline,
+        diff_findings,
+        format_json,
+        format_text,
+        lint_paths,
+    )
+
+    findings, suppressed, files_checked = lint_paths(args.paths, root=args.root)
+    baseline_path = Path(args.root or ".") / args.baseline
+    if args.update_baseline:
+        previous = Baseline.load(baseline_path) if baseline_path.exists() else Baseline()
+        justifications = {
+            key: entry.get("justification", "")
+            for key, entry in previous.entries.items()
+        }
+        updated = Baseline.from_findings(findings, justifications=justifications)
+        updated.save(baseline_path)
+        print(f"wrote {baseline_path} ({len(updated)} accepted finding(s))")
+        return 0
+    baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+    report = diff_findings(
+        findings, baseline, suppressed=suppressed, files_checked=files_checked
+    )
+    print(format_json(report) if args.format == "json" else format_text(report))
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ddoshield",
@@ -176,6 +207,32 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=3)
     bench.add_argument("--out", default="BENCH_features.json")
     bench.set_defaults(fn=cmd_bench_features)
+
+    lint = sub.add_parser(
+        "lint", help="run the determinism linter against the committed baseline"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--root", default=None,
+        help="repository root findings are reported relative to (default: cwd)",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--baseline", default="analysis/baseline.json",
+        help="baseline file, relative to --root",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="accept all current findings into the baseline and exit",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    lint.set_defaults(fn=cmd_lint)
     return parser
 
 

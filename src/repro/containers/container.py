@@ -101,6 +101,8 @@ class Container:
         self.sim = sim
         self.node = node
         self.resources = ResourceAccountant(limits or image.default_limits)
+        if sim.sanitizer is not None:
+            sim.sanitizer.register_accountant(name, self.resources)
         self.state = ContainerState.CREATED
         self.processes: list[Process] = []
         self.started_at: float | None = None

@@ -52,8 +52,7 @@ class ResourceAccountant:
     def __init__(self, limits: ResourceLimits | None = None) -> None:
         self.limits = limits or ResourceLimits()
         self.usage = ResourceUsage()
-        self._allocations: dict[str, int] = field(default_factory=dict)  # type: ignore[assignment]
-        self._allocations = {}
+        self._allocations: dict[str, int] = {}
 
     def charge_cpu(self, work_seconds: float) -> float:
         """Record ``work_seconds`` of compute; return the wall time it takes
@@ -87,6 +86,38 @@ class ResourceAccountant:
         """Release the allocation recorded under ``tag``."""
         nbytes = self._allocations.pop(tag, 0)
         self.usage.memory_bytes -= nbytes
+
+    def consistency_errors(self) -> list[str]:
+        """Accounting invariants the runtime sanitizers verify.
+
+        The usage ledger must equal the sum of live allocations, stay
+        non-negative, and never exceed its own recorded peak.
+        """
+        problems: list[str] = []
+        live = sum(self._allocations.values())
+        if self.usage.memory_bytes != live:
+            problems.append(
+                f"memory ledger {self.usage.memory_bytes}B != live "
+                f"allocations {live}B"
+            )
+        if self.usage.memory_bytes < 0:
+            problems.append(f"negative memory ledger {self.usage.memory_bytes}B")
+        if self.usage.peak_memory_bytes < self.usage.memory_bytes:
+            problems.append(
+                f"peak {self.usage.peak_memory_bytes}B below current "
+                f"{self.usage.memory_bytes}B"
+            )
+        if self.usage.cpu_seconds < 0:
+            problems.append(f"negative cpu ledger {self.usage.cpu_seconds}s")
+        if (
+            self.limits.memory_bytes is not None
+            and self.usage.memory_bytes > self.limits.memory_bytes
+        ):
+            problems.append(
+                f"memory {self.usage.memory_bytes}B exceeds limit "
+                f"{self.limits.memory_bytes}B without an OOM kill"
+            )
+        return problems
 
     def cpu_percent(self, over_seconds: float) -> float:
         """Average CPU utilisation (%) over a window of virtual time."""

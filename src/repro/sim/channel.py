@@ -64,6 +64,12 @@ class CsmaChannel:
         #: Optional fault injector consulted per frame (repro.faults).
         self.fault_injector: "ChannelImpairment | None" = None
         self.frames_impaired = 0
+        #: Conservation counters: every frame dequeued from a device queue
+        #: is delivered, impaired, or still in flight (sanitizer invariant).
+        self.frames_dequeued = 0
+        self.frames_in_flight = 0
+        if sim.sanitizer is not None:
+            sim.sanitizer.register_channel("csma", self)
 
     def attach(self, device: "CsmaNetDevice") -> None:
         """Register ``device`` on the medium."""
@@ -125,6 +131,7 @@ class CsmaChannel:
             if frame is None:
                 continue
             self._busy = True
+            self.frames_dequeued += 1
             tx_time = self.transmission_time(frame.size)
             drop, extra_delay = False, 0.0
             if self.fault_injector is not None:
@@ -134,6 +141,7 @@ class CsmaChannel:
             if drop:
                 self.frames_impaired += 1
             else:
+                self.frames_in_flight += 1
                 self.sim.schedule(
                     tx_time + self.delay + extra_delay, self._deliver, frame, device
                 )
@@ -148,6 +156,7 @@ class CsmaChannel:
             self._serve()
 
     def _deliver(self, frame: Packet, sender: "CsmaNetDevice") -> None:
+        self.frames_in_flight -= 1
         self.frames_delivered += 1
         for probe in self._probes:
             probe(frame, self.sim.now)
@@ -181,6 +190,8 @@ class CsmaNetDevice:
         self.rx_count = 0
         self._rx_callbacks: list[Callable[[Packet], None]] = []
         channel.attach(self)
+        if channel.sim.sanitizer is not None:
+            channel.sim.sanitizer.register_queue(f"txq:{mac}", self.queue)
 
     def add_rx_callback(self, callback: Callable[[Packet], None]) -> None:
         """Observe frames accepted by this device (after MAC filtering)."""

@@ -15,30 +15,54 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:
+    from repro.analysis.sanitizers import Sanitizer
 
 
 class SimulationError(RuntimeError):
     """Raised on kernel misuse (negative delays, scheduling in the past)."""
 
 
-@dataclass(order=True)
+@dataclass(eq=False)
 class Event:
     """A callback scheduled at an absolute virtual time.
 
-    Events compare by ``(time, priority, seq)`` so the heap pops them in
-    chronological order, with FIFO ordering among simultaneous events of
-    equal priority.  Lower ``priority`` runs first at the same timestamp.
+    Events order *exclusively* by :meth:`sort_key` — ``(time, priority,
+    seq)`` — so the heap pops them in chronological order with FIFO
+    ordering among simultaneous events of equal priority.  Lower
+    ``priority`` runs first at the same timestamp.  ``seq`` is a
+    per-simulator monotonic counter, making the key a strict total
+    order: equal-time events never fall back to comparing callbacks or
+    payload (which would either raise or, worse, order by ``id()`` and
+    silently differ between runs).
     """
 
     time: float
     priority: int
     seq: int
-    callback: Callable[..., Any] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-    _sim: "Simulator | None" = field(compare=False, default=None, repr=False)
-    _in_heap: bool = field(compare=False, default=False, repr=False)
+    callback: Callable[..., Any]
+    args: tuple = ()
+    cancelled: bool = False
+    _sim: "Simulator | None" = field(default=None, repr=False)
+    _in_heap: bool = field(default=False, repr=False)
+
+    def sort_key(self) -> tuple[float, int, int]:
+        """The deterministic total order the event heap uses."""
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: "Event") -> bool:
+        return self.sort_key() <= other.sort_key()
+
+    def __gt__(self, other: "Event") -> bool:
+        return self.sort_key() > other.sort_key()
+
+    def __ge__(self, other: "Event") -> bool:
+        return self.sort_key() >= other.sort_key()
 
     def cancel(self) -> None:
         """Prevent the event from running; the owning simulator reclaims
@@ -69,7 +93,13 @@ class Simulator:
     COMPACT_FRACTION = 0.5
     COMPACT_MIN_SIZE = 64
 
-    def __init__(self) -> None:
+    def __init__(self, sanitize: bool | str | None = None) -> None:
+        """``sanitize`` enables runtime invariant checks: ``True`` raises
+        :class:`~repro.analysis.sanitizers.SanitizerError` on the first
+        violation, ``"collect"`` records them on ``sanitizer.violations``,
+        ``None`` (default) defers to the ``REPRO_SANITIZE`` env var."""
+        from repro.analysis.sanitizers import make_sanitizer
+
         self._now = 0.0
         self._heap: list[Event] = []
         self._seq = itertools.count()
@@ -78,6 +108,8 @@ class Simulator:
         self._events_executed = 0
         self._cancelled_in_heap = 0
         self._compactions = 0
+        self.sanitizer: "Sanitizer | None" = make_sanitizer(sanitize)
+        self._finalized = False
 
     @property
     def now(self) -> float:
@@ -174,6 +206,8 @@ class Simulator:
                     if self._cancelled_in_heap > 0:
                         self._cancelled_in_heap -= 1
                     continue
+                if self.sanitizer is not None:
+                    self.sanitizer.check_event(event, self._now)
                 self._now = event.time
                 self._events_executed += 1
                 event.callback(*event.args)
@@ -181,6 +215,20 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+        if self.sanitizer is not None:
+            self.sanitizer.check_conservation(self._now)
+
+    def finalize(self) -> None:
+        """Run end-of-simulation sanitizer checks (idempotent).
+
+        With sanitizers enabled this verifies packet conservation and
+        socket/port hygiene one last time; without them it is a no-op,
+        so experiment flows can call it unconditionally.
+        """
+        if self.sanitizer is None or self._finalized:
+            return
+        self._finalized = True
+        self.sanitizer.finalize(self._now)
 
     def stop(self) -> None:
         """Stop the run loop after the current event finishes."""

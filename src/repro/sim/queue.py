@@ -57,6 +57,21 @@ class DropTailQueue:
         """Look at the oldest packet without removing it."""
         return self._items[0] if self._items else None
 
+    def conservation_error(self) -> str | None:
+        """Describe a packet-conservation breach, or None when conserved.
+
+        The invariant (checked by the runtime sanitizers): every packet
+        ever accepted is either dequeued, flushed, or still queued —
+        ``enqueued == dequeued + flushed + len(queue)``.
+        """
+        accounted = self.dequeued + self.flushed + len(self._items)
+        if self.enqueued == accounted:
+            return None
+        return (
+            f"enqueued={self.enqueued} != dequeued={self.dequeued} + "
+            f"flushed={self.flushed} + backlog={len(self._items)}"
+        )
+
     def clear(self) -> None:
         """Discard all queued packets, accounting them as flushed.
 

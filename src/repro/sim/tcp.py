@@ -455,6 +455,8 @@ class TcpStack:
         self.rst_sent = 0
         self.payload_bytes_sent = 0  # monotone app-byte counter (goodput)
         self.default_provenance: Provenance | None = None
+        if self.sim.sanitizer is not None:
+            self.sim.sanitizer.register_tcp_stack(self)
 
     def seed(self, seed: int) -> None:
         """Reseed ISN and ephemeral-port generation (per-scenario determinism)."""

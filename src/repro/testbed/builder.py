@@ -51,9 +51,14 @@ class Testbed:
 
     __test__ = False  # "Test" prefix is the product name, not a pytest class
 
-    def __init__(self, scenario: Scenario | None = None) -> None:
+    def __init__(
+        self,
+        scenario: Scenario | None = None,
+        sanitize: bool | str | None = None,
+    ) -> None:
         self.scenario = scenario or Scenario()
-        self.sim = Simulator()
+        # sanitize=None defers to the REPRO_SANITIZE environment variable.
+        self.sim = Simulator(sanitize=sanitize)
         self.lan = CsmaLan(
             self.sim,
             subnet=self.scenario.subnet,

@@ -311,6 +311,7 @@ def run_fault_experiment(
         ],
         until=base + detect_duration,
     )
+    testbed.sim.finalize()  # teardown sanitizer checks (no-op when disabled)
     injector = testbed.fault_injector
     return FaultExperimentResult(
         scenario=scenario,
@@ -355,6 +356,7 @@ def run_full_experiment(
     detection = run_realtime_detection(
         detect_capture, trained, window_seconds=scenario.window_seconds
     )
+    testbed.sim.finalize()  # teardown sanitizer checks (no-op when disabled)
     return ExperimentResult(
         scenario=scenario,
         train_summary=train_capture.summary(),

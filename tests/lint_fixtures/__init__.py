@@ -1,0 +1,7 @@
+"""Known-bad snippets for the determinism linter's fixture tests.
+
+Each module contains deliberately hazardous code; tests/test_analysis.py
+asserts that each rule fires at exactly the expected file:line.  These
+modules are linted as *text*, never imported — do not add them to any
+import path.
+"""

@@ -1,0 +1,21 @@
+"""FLT001 fixtures: float equality against simulation time."""
+
+
+def bad_boundary(record, window_end: float) -> bool:
+    return record.timestamp == window_end  # line 5: FLT001
+
+
+def bad_now(sim, deadline: float) -> bool:
+    return sim.now != deadline  # line 9: FLT001
+
+
+def good_index(record, window_seconds: float) -> bool:
+    return int(record.timestamp // window_seconds) == 3  # ok: int compare
+
+
+def good_inequality(sim, deadline: float) -> bool:
+    return sim.now >= deadline  # ok: ordering, not equality
+
+
+def good_none(timestamp) -> bool:
+    return timestamp == None  # ok: sentinel check, not float equality  # noqa: E711

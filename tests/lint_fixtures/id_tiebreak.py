@@ -1,0 +1,18 @@
+"""ID001 fixtures: id()-based tie-breaking."""
+
+
+def bad_sort_key(events):
+    return sorted(events, key=lambda e: (e.time, id(e)))  # line 5: ID001
+
+
+def bad_compare(a, b) -> bool:
+    return id(a) < id(b)  # line 9: ID001
+
+
+def good_seq_key(events):
+    return sorted(events, key=lambda e: (e.time, e.seq))  # ok: stable field
+
+
+def good_identity_map(obj, registry):
+    registry[id(obj)] = obj  # ok: identity map, not ordering
+    return registry

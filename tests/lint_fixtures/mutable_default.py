@@ -1,0 +1,13 @@
+"""MUT001 fixtures: mutable default arguments."""
+
+
+def bad_list(items=[]):  # line 4: MUT001
+    return items
+
+
+def bad_dict_call(state=dict(), *, tags=set()):  # line 8: MUT001 (twice)
+    return state, tags
+
+
+def good_none(items=None):
+    return list(items or ())

@@ -1,0 +1,21 @@
+"""RNG001 fixtures: hidden-global-state random calls."""
+
+import random
+from random import choice, shuffle as mix
+
+SEEDED = random.Random(42)  # ok: seeded instance construction
+
+
+def bad_jitter() -> float:
+    return random.uniform(0.0, 1.0)  # line 10: RNG001
+
+
+def bad_pick(items):
+    random.seed(7)  # line 14: RNG001 (reseeding the global is still global)
+    first = choice(items)  # line 15: RNG001 via from-import
+    mix(items)  # line 16: RNG001 via aliased from-import
+    return first
+
+
+def good_jitter() -> float:
+    return SEEDED.uniform(0.0, 1.0)  # ok: instance method, not flagged

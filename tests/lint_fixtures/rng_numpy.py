@@ -1,0 +1,18 @@
+"""RNG002 fixtures: numpy legacy global RandomState calls."""
+
+import numpy as np
+
+GOOD_RNG = np.random.default_rng(0)  # ok: seeded Generator
+
+
+def bad_noise(n: int):
+    np.random.seed(0)  # line 9: RNG002
+    return np.random.rand(n)  # line 10: RNG002
+
+
+def bad_shuffle(x):
+    np.random.shuffle(x)  # line 14: RNG002
+
+
+def good_noise(n: int):
+    return GOOD_RNG.normal(size=n)  # ok: Generator method

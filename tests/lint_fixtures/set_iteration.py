@@ -1,0 +1,33 @@
+"""ORD001 fixtures: unordered set iteration / arbitrary set.pop()."""
+
+PENDING = set()
+
+
+class Picker:
+    def __init__(self):
+        self.targets: set[int] = set()
+
+    def bad_walk(self):
+        for target in self.targets:  # line 11: ORD001 (inferred set attr)
+            yield target
+
+    def bad_pop(self):
+        return self.targets.pop()  # line 15: ORD001 (arbitrary element)
+
+    def good_walk(self):
+        for target in sorted(self.targets):  # ok: sorted iteration
+            yield target
+
+
+def bad_literal():
+    return [x for x in {3, 1, 2}]  # line 23: ORD001 (set literal)
+
+
+def bad_call(items):
+    for item in set(items):  # line 27: ORD001 (set(...) call)
+        print(item)
+
+
+def bad_module_state():
+    for item in PENDING:  # line 32: ORD001 (module-level set)
+        print(item)

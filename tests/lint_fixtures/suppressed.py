@@ -1,0 +1,20 @@
+"""Suppression fixtures: lint-ok comments silence specific rules."""
+
+import random
+import time
+
+
+def justified_wall_clock() -> float:
+    return time.time()  # repro: lint-ok[TIME001] -- host-side progress logging
+
+
+def justified_rng() -> float:
+    return random.random()  # repro: lint-ok[RNG001] -- fixture demonstrating suppression
+
+
+def blanket() -> float:
+    return time.time() + random.random()  # repro: lint-ok[*] -- suppress everything here
+
+
+def not_suppressed() -> float:
+    return time.time()  # line 20: TIME001 (no lint-ok comment)

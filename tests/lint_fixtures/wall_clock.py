@@ -1,0 +1,21 @@
+"""TIME001 fixtures: wall-clock reads in simulation code."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def bad_stamp() -> float:
+    return time.time()  # line 9: TIME001
+
+
+def bad_tick() -> float:
+    return perf_counter()  # line 13: TIME001 via from-import
+
+
+def bad_date() -> str:
+    return datetime.now().isoformat()  # line 17: TIME001
+
+
+def good_virtual(sim) -> float:
+    return sim.now  # ok: virtual time
