@@ -195,6 +195,23 @@ class TrafficDataset:
                 )
         return cls(records)
 
+    def save(self, path: str | Path) -> Path:
+        """Persist the capture as a pipeline artifact (lossless CSV).
+
+        This is the canonical on-disk format for capture-stage artifacts:
+        timestamps are written via ``repr`` so the float round-trips
+        bit-exactly and a reloaded capture produces byte-identical
+        feature matrices.  Returns the written path.
+        """
+        path = Path(path)
+        self.to_csv(path)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TrafficDataset":
+        """Reload a capture written by :meth:`save`."""
+        return cls.from_csv(path)
+
     @classmethod
     def merge(cls, datasets: Iterable["TrafficDataset"]) -> "TrafficDataset":
         """Concatenate captures and re-sort chronologically."""

@@ -8,6 +8,10 @@ Four commands cover the testbed's day-to-day uses:
   by a fault plan (loss, partition, container crash + restart), printing
   the healthy-vs-degraded accuracy breakdown and the fault/supervisor
   logs;
+* ``ddoshield campaign`` — sweep a scenario × seed grid through the
+  staged pipeline, sharded across ``--jobs`` workers with a shared
+  content-addressed artifact cache (``--cache-dir``; repeated runs
+  resume from cache), printing per-scenario Table I/II aggregates;
 * ``ddoshield dataset`` — generate a labelled capture and export CSV
   (and optionally pcap);
 * ``ddoshield inventory`` — build the Figure 1 topology, run the Mirai
@@ -81,6 +85,52 @@ def cmd_faults(args: argparse.Namespace) -> int:
     for report in result.detection:
         print(f"  {report}")
     return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.pipeline import CampaignSpec, run_campaign
+    from repro.testbed import Scenario
+
+    if args.scenarios:
+        payload = json.loads(Path(args.scenarios).read_text())
+        if not isinstance(payload, list) or not payload:
+            raise SystemExit(f"{args.scenarios}: expected a non-empty JSON list of scenarios")
+        scenarios = tuple(Scenario.from_dict(entry) for entry in payload)
+    else:
+        scenarios = tuple(
+            Scenario(n_devices=devices) for devices in _parse_int_list(args.devices)
+        )
+    spec = CampaignSpec(
+        scenarios=scenarios,
+        seeds=tuple(_parse_int_list(args.seeds)),
+        train_duration=args.train_duration,
+        detect_duration=args.detect_duration,
+        faults=args.faults,
+    )
+    report = run_campaign(spec, jobs=args.jobs, cache_dir=args.cache_dir)
+    print(report.format_text())
+    if args.out:
+        Path(args.out).write_text(report.to_json())
+        print(f"\nwrote {args.out}")
+    if args.min_cache_hit_rate is not None and report.cache_hit_rate < args.min_cache_hit_rate:
+        print(
+            f"cache hit rate {report.cache_hit_rate:.2f} below required "
+            f"{args.min_cache_hit_rate:.2f}"
+        )
+        return 1
+    return 0
+
+
+def _parse_int_list(text: str) -> list[int]:
+    try:
+        values = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"expected a comma-separated integer list, got {text!r}")
+    if not values:
+        raise SystemExit(f"expected a non-empty integer list, got {text!r}")
+    return values
 
 
 def cmd_dataset(args: argparse.Namespace) -> int:
@@ -185,6 +235,38 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--train-duration", type=float, default=60.0)
     faults.add_argument("--detect-duration", type=float, default=30.0)
     faults.set_defaults(fn=cmd_faults)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="sweep a scenario × seed grid with caching and parallel workers",
+    )
+    campaign.add_argument(
+        "--devices", default="6",
+        help="comma-separated device counts, one scenario per entry (default: 6)",
+    )
+    campaign.add_argument(
+        "--seeds", default="7",
+        help="comma-separated seeds applied to every scenario (default: 7)",
+    )
+    campaign.add_argument(
+        "--scenarios", default=None,
+        help="JSON file with a list of Scenario.to_dict() entries (overrides --devices)",
+    )
+    campaign.add_argument("--train-duration", type=float, default=60.0)
+    campaign.add_argument("--detect-duration", type=float, default=30.0)
+    campaign.add_argument("--faults", action="store_true",
+                          help="impair every detection run with the scenario's fault plan")
+    campaign.add_argument("--jobs", type=int, default=1,
+                          help="parallel worker processes (default: 1)")
+    campaign.add_argument("--cache-dir", default=".ddoshield-cache",
+                          help="content-addressed artifact cache shared by all runs")
+    campaign.add_argument("--out", default=None, help="also write the report as JSON")
+    campaign.add_argument(
+        "--min-cache-hit-rate", type=float, default=None,
+        help="exit non-zero if the cache hit rate falls below this fraction "
+             "(CI guard for resume-from-cache)",
+    )
+    campaign.set_defaults(fn=cmd_campaign)
 
     dataset = sub.add_parser("dataset", help="generate and export a labelled capture")
     _add_scenario_args(dataset)

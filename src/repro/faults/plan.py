@@ -41,7 +41,7 @@ Fault kinds
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 FAULT_KINDS = ("loss", "burst-loss", "corrupt", "jitter", "partition", "kill")
 RESTART_MODES = ("no", "on-failure", "always")
@@ -111,6 +111,19 @@ class FaultSpec:
         bare = name[6:] if name.startswith("ghost-") else name
         return name in self.targets or bare in self.targets
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (used for cache keys and campaign grids)."""
+        payload = asdict(self)
+        payload["targets"] = list(self.targets)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultSpec":
+        """Rebuild a spec from :meth:`to_dict`; validation re-fires."""
+        data = dict(payload)
+        data["targets"] = tuple(data.get("targets", (ALL_TARGETS,)))
+        return cls(**data)
+
     def describe(self) -> str:
         params = {
             "loss": f"rate={self.rate}",
@@ -138,6 +151,18 @@ class FaultPlan:
     def __post_init__(self) -> None:
         if not all(isinstance(spec, FaultSpec) for spec in self.specs):
             raise TypeError("FaultPlan.specs must contain FaultSpec entries")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form: ``{"seed": ..., "specs": [...]}``."""
+        return {"seed": self.seed, "specs": [spec.to_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict`; spec validation re-fires."""
+        return cls(
+            specs=tuple(FaultSpec.from_dict(s) for s in payload.get("specs", ())),
+            seed=int(payload.get("seed", 0)),
+        )
 
     def __len__(self) -> int:
         return len(self.specs)

@@ -86,6 +86,32 @@ class FeatureExtractor:
             [STATISTICAL_FEATURE_NAMES.index(name) for name in stat_names], dtype=int
         )
 
+    def to_config(self) -> dict:
+        """JSON-serializable constructor arguments.
+
+        ``stat_set`` is stored as the resolved tuple of statistic names,
+        so a round-tripped extractor produces byte-identical matrices
+        even if the named preset's contents ever change.
+        """
+        return {
+            "window_seconds": self.window_seconds,
+            "include_ips": self.include_ips,
+            "include_timestamp": self.include_timestamp,
+            "include_details": self.include_details,
+            "stat_set": list(self.stat_names),
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "FeatureExtractor":
+        """Rebuild an extractor from :meth:`to_config` (validation re-fires)."""
+        return cls(
+            window_seconds=config["window_seconds"],
+            include_ips=config["include_ips"],
+            include_timestamp=config["include_timestamp"],
+            include_details=config["include_details"],
+            stat_set=tuple(config["stat_set"]),
+        )
+
     @property
     def feature_names(self) -> tuple[str, ...]:
         """Column names of the produced matrix."""

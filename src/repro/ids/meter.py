@@ -49,6 +49,20 @@ class SustainabilityMetrics:
             f"{self.energy_mj_per_window:.1f} mJ/window"
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (pipeline report artifacts)."""
+        return {
+            "cpu_percent": self.cpu_percent,
+            "memory_kb": self.memory_kb,
+            "model_size_kb": self.model_size_kb,
+            "energy_mj_per_window": self.energy_mj_per_window,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SustainabilityMetrics":
+        """Rebuild metrics from :meth:`to_dict`."""
+        return cls(**payload)
+
 
 class ResourceMeter:
     """Accumulates per-window CPU and peak-memory measurements."""

@@ -43,6 +43,23 @@ class WindowResult:
         """Whether accuracy is meaningful (the window held packets)."""
         return self.n_packets > 0
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (pipeline report artifacts)."""
+        return {
+            "window_index": self.window_index,
+            "start_time": self.start_time,
+            "n_packets": self.n_packets,
+            "n_malicious_true": self.n_malicious_true,
+            "n_malicious_predicted": self.n_malicious_predicted,
+            "accuracy": self.accuracy,
+            "status": self.status,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WindowResult":
+        """Rebuild a window result from :meth:`to_dict`."""
+        return cls(**payload)
+
 
 @dataclass
 class DetectionReport:
@@ -156,6 +173,30 @@ class DetectionReport:
                 edges.append(window)
             previous = window
         return edges
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form of the full run (pipeline artifacts)."""
+        return {
+            "model_name": self.model_name,
+            "windows": [w.to_dict() for w in self.windows],
+            "sustainability": (
+                self.sustainability.to_dict() if self.sustainability is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DetectionReport":
+        """Rebuild a report from :meth:`to_dict`."""
+        sustainability = payload.get("sustainability")
+        return cls(
+            model_name=payload["model_name"],
+            windows=[WindowResult.from_dict(w) for w in payload.get("windows", [])],
+            sustainability=(
+                SustainabilityMetrics.from_dict(sustainability)
+                if sustainability is not None
+                else None
+            ),
+        )
 
     def __str__(self) -> str:
         line = (

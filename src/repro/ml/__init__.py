@@ -26,7 +26,14 @@ from repro.ml.metrics import (
 )
 from repro.ml.preprocessing import StandardScaler, train_test_split
 from repro.ml.random_forest import RandomForestClassifier
-from repro.ml.serialization import load_model, model_size_kb, save_model
+from repro.ml.serialization import (
+    ModelBundle,
+    load_model,
+    load_model_bundle,
+    model_size_kb,
+    save_model,
+    save_model_bundle,
+)
 from repro.ml.svm import LinearSVM
 from repro.ml.tree import DecisionTreeClassifier
 
@@ -39,6 +46,7 @@ __all__ = [
     "KMeans",
     "KMeansDetector",
     "LinearSVM",
+    "ModelBundle",
     "RandomForestClassifier",
     "Sequential",
     "StandardScaler",
@@ -48,9 +56,11 @@ __all__ = [
     "evaluate_classifier",
     "f1_score",
     "load_model",
+    "load_model_bundle",
     "model_size_kb",
     "precision_score",
     "recall_score",
     "save_model",
+    "save_model_bundle",
     "train_test_split",
 ]

@@ -85,6 +85,27 @@ class ClassificationReport:
             f"(tp={tp} tn={tn} fp={fp} fn={fn})"
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (confusion matrix as nested lists)."""
+        return {
+            "accuracy": self.accuracy,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "confusion": self.confusion.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ClassificationReport":
+        """Rebuild a report from :meth:`to_dict`."""
+        return cls(
+            accuracy=payload["accuracy"],
+            precision=payload["precision"],
+            recall=payload["recall"],
+            f1=payload["f1"],
+            confusion=np.asarray(payload["confusion"], dtype=int),
+        )
+
 
 def evaluate_classifier(y_true, y_pred) -> ClassificationReport:
     """Compute the full training-phase report for binary labels."""

@@ -3,11 +3,19 @@
 After training, each model is pickled ("we save each model in a PKL
 file") and its on-disk size in kilobytes is one of Table II's
 sustainability metrics.
+
+A :class:`ModelBundle` extends the bare PKL with everything needed to
+*serve* the model: the fitted scaler, the feature-extractor
+configuration, and arbitrary JSON metadata (training metrics, fit time,
+model name).  Bundles are the trained-model artifact format of the
+staged experiment pipeline (:mod:`repro.pipeline`).
 """
 
 from __future__ import annotations
 
+import json
 import pickle
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
@@ -33,3 +41,64 @@ def load_model(path: str | Path) -> Any:
 def model_size_kb(model: Any) -> float:
     """In-memory pickled size in kilobytes (Table II's "Model Size")."""
     return len(pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)) / 1000.0
+
+
+# ----------------------------------------------------------------------
+# Model bundles (pipeline artifacts)
+
+_BUNDLE_MODEL = "model.pkl"
+_BUNDLE_SCALER = "scaler.pkl"
+_BUNDLE_META = "bundle.json"
+
+
+@dataclass
+class ModelBundle:
+    """A trained model plus everything needed to serve it.
+
+    ``extractor_config`` is the JSON configuration of the
+    :class:`~repro.features.pipeline.FeatureExtractor` the model was
+    trained with (``FeatureExtractor.to_config()``); ``metadata`` holds
+    arbitrary JSON (model name, training metrics, fit seconds).
+    """
+
+    model: Any
+    scaler: Any = None
+    extractor_config: dict | None = None
+    metadata: dict = field(default_factory=dict)
+
+
+def save_model_bundle(bundle: ModelBundle, path: str | Path) -> Path:
+    """Write a :class:`ModelBundle` into directory ``path``.
+
+    Layout: ``model.pkl``, optional ``scaler.pkl``, and ``bundle.json``
+    holding the extractor config and metadata.  Returns the directory.
+    """
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    save_model(bundle.model, path / _BUNDLE_MODEL)
+    if bundle.scaler is not None:
+        save_model(bundle.scaler, path / _BUNDLE_SCALER)
+    payload = {
+        "extractor_config": bundle.extractor_config,
+        "metadata": bundle.metadata,
+        "has_scaler": bundle.scaler is not None,
+    }
+    (path / _BUNDLE_META).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_model_bundle(path: str | Path) -> ModelBundle:
+    """Reload a bundle written by :func:`save_model_bundle`.
+
+    Same trust caveat as :func:`load_model`: only load bundles this
+    library itself produced.
+    """
+    path = Path(path)
+    payload = json.loads((path / _BUNDLE_META).read_text())
+    scaler = load_model(path / _BUNDLE_SCALER) if payload["has_scaler"] else None
+    return ModelBundle(
+        model=load_model(path / _BUNDLE_MODEL),
+        scaler=scaler,
+        extractor_config=payload["extractor_config"],
+        metadata=payload["metadata"],
+    )

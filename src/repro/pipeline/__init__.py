@@ -1,0 +1,65 @@
+"""Staged experiment pipeline: cacheable stages, artifact store, campaigns.
+
+The §IV-D procedure decomposed into content-addressed stages
+(:mod:`repro.pipeline.stages`) executed by a DAG runner
+(:mod:`repro.pipeline.stage`) over an on-disk artifact store
+(:mod:`repro.pipeline.store`), plus a parallel scenario/seed campaign
+runner (:mod:`repro.pipeline.campaign`).  ``run_full_experiment`` and
+``run_fault_experiment`` in :mod:`repro.testbed.experiment` are thin
+compositions over these pieces.
+"""
+
+from repro.pipeline.campaign import (
+    CampaignReport,
+    CampaignRun,
+    CampaignSpec,
+    RunRecord,
+    execute_run,
+    expand_grid,
+    run_campaign,
+)
+from repro.pipeline.stage import (
+    PipelineContext,
+    PipelineResult,
+    PipelineRunner,
+    Stage,
+    StageOutcome,
+)
+from repro.pipeline.stages import (
+    BuildTestbedStage,
+    CaptureArtifact,
+    CaptureStage,
+    DetectStage,
+    TrainModelsStage,
+    experiment_stages,
+    run_experiment_pipeline,
+    spec_fingerprint,
+)
+from repro.pipeline.store import ArtifactStore, StoreStats, canonical_json, stage_key
+
+__all__ = [
+    "ArtifactStore",
+    "BuildTestbedStage",
+    "CampaignReport",
+    "CampaignRun",
+    "CampaignSpec",
+    "CaptureArtifact",
+    "CaptureStage",
+    "DetectStage",
+    "PipelineContext",
+    "PipelineResult",
+    "PipelineRunner",
+    "RunRecord",
+    "Stage",
+    "StageOutcome",
+    "StoreStats",
+    "TrainModelsStage",
+    "canonical_json",
+    "execute_run",
+    "expand_grid",
+    "experiment_stages",
+    "run_campaign",
+    "run_experiment_pipeline",
+    "spec_fingerprint",
+    "stage_key",
+]

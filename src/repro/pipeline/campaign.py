@@ -1,0 +1,357 @@
+"""Campaign runner: sweep a scenario/seed grid, sharded across workers.
+
+A :class:`CampaignSpec` expands into one run per (scenario × seed) grid
+cell; :func:`run_campaign` executes them — in process for ``jobs=1``,
+across a ``multiprocessing`` pool otherwise — with every worker sharing
+one content-addressed :class:`~repro.pipeline.store.ArtifactStore`.
+Per-run results are merged, in deterministic grid order, into a
+:class:`CampaignReport` with per-scenario Table I / Table II aggregates
+and cache accounting, which is how the repo reports robustness across
+traffic mixes (the sweep-style evaluation of Kitsune-like IDS papers).
+
+Repeating a campaign against the same cache directory re-executes zero
+stages: every run is served from the store and the report (timing
+aside) is identical.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Sequence
+
+from repro.pipeline.stages import run_experiment_pipeline
+from repro.testbed.experiment import ExperimentResult, FaultExperimentResult
+from repro.testbed.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The grid: scenarios × seeds, plus shared run parameters."""
+
+    scenarios: tuple[Scenario, ...]
+    seeds: tuple[int, ...]
+    train_duration: float = 60.0
+    detect_duration: float = 30.0
+    faults: bool = False
+    labels: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ValueError("campaign needs at least one scenario")
+        if not self.seeds:
+            raise ValueError("campaign needs at least one seed")
+        if self.labels and len(self.labels) != len(self.scenarios):
+            raise ValueError(
+                f"{len(self.labels)} label(s) for {len(self.scenarios)} scenario(s)"
+            )
+
+    def scenario_labels(self) -> tuple[str, ...]:
+        if self.labels:
+            return self.labels
+        return tuple(
+            f"s{index}-dev{scenario.n_devices}"
+            for index, scenario in enumerate(self.scenarios)
+        )
+
+
+@dataclass(frozen=True)
+class CampaignRun:
+    """One grid cell: a concrete scenario (seed applied) plus metadata."""
+
+    label: str
+    seed: int
+    scenario: Scenario
+    train_duration: float
+    detect_duration: float
+    faults: bool
+    cache_dir: str | None = None
+
+
+def expand_grid(spec: CampaignSpec, cache_dir: str | Path | None = None) -> list[CampaignRun]:
+    """Scenario × seed expansion, in deterministic grid order."""
+    runs = []
+    for label, scenario in zip(spec.scenario_labels(), spec.scenarios):
+        for seed in spec.seeds:
+            runs.append(
+                CampaignRun(
+                    label=label,
+                    seed=seed,
+                    scenario=replace(scenario, seed=seed),
+                    train_duration=spec.train_duration,
+                    detect_duration=spec.detect_duration,
+                    faults=spec.faults,
+                    cache_dir=str(cache_dir) if cache_dir is not None else None,
+                )
+            )
+    return runs
+
+
+@dataclass
+class RunRecord:
+    """The portable (picklable, JSON-able) outcome of one campaign run."""
+
+    label: str
+    seed: int
+    scenario: dict
+    faults: bool
+    infection_seconds: float
+    train_summary: dict
+    detect_summary: dict
+    table1: list[list]  # [model, accuracy %]
+    table2: list[list]  # [model, cpu %, memory Kb, model size Kb]
+    training_metrics: list[list]  # [model, acc, precision, recall, f1]
+    fault_table: list[list] | None
+    stage_cache: dict[str, dict]
+    elapsed_seconds: float
+
+    def to_dict(self, include_timing: bool = True) -> dict:
+        payload = {
+            "label": self.label,
+            "seed": self.seed,
+            "scenario": self.scenario,
+            "faults": self.faults,
+            "infection_seconds": self.infection_seconds,
+            "train_summary": self.train_summary,
+            "detect_summary": self.detect_summary,
+            "table1": self.table1,
+            "table2": self.table2,
+            "training_metrics": self.training_metrics,
+            "fault_table": self.fault_table,
+        }
+        if include_timing:
+            payload["stage_cache"] = self.stage_cache
+            payload["elapsed_seconds"] = self.elapsed_seconds
+        return payload
+
+
+def _summary_dict(summary) -> dict:
+    return {
+        "total": summary.total,
+        "malicious": summary.malicious,
+        "benign": summary.benign,
+        "by_attack": dict(sorted(summary.by_attack.items())),
+        "duration": summary.duration,
+    }
+
+
+def execute_run(run: CampaignRun) -> RunRecord:
+    """Execute one grid cell through the staged pipeline.
+
+    Top-level (not a closure) so multiprocessing workers can receive it
+    under every start method.  Each worker opens its own handle on the
+    shared content-addressed store; commits are atomic, so concurrent
+    writers are safe.
+    """
+    # Wall-clock by design: per-run elapsed time is campaign telemetry
+    # (how long the shard took on this host), not simulation state.
+    started = time.perf_counter()
+    result, outcome = run_experiment_pipeline(
+        scenario=run.scenario,
+        train_duration=run.train_duration,
+        detect_duration=run.detect_duration,
+        faults=run.faults,
+        store=run.cache_dir,
+    )
+    elapsed = time.perf_counter() - started
+    return RunRecord(
+        label=run.label,
+        seed=run.seed,
+        scenario=run.scenario.to_dict(),
+        faults=run.faults,
+        infection_seconds=result.infection_seconds,
+        train_summary=_summary_dict(result.train_summary),
+        detect_summary=_summary_dict(result.detect_summary),
+        table1=[list(row) for row in result.table1()],
+        table2=[list(row) for row in result.table2()],
+        training_metrics=[list(row) for row in result.training_metrics()],
+        fault_table=(
+            [list(row) for row in result.fault_table()]
+            if isinstance(result, FaultExperimentResult)
+            else None
+        ),
+        stage_cache=outcome.cache_summary(),
+        elapsed_seconds=elapsed,
+    )
+
+
+@dataclass
+class CampaignReport:
+    """Merged campaign outcome: per-run records plus grid aggregates."""
+
+    records: list[RunRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+
+    def table1_aggregate(self) -> dict[str, dict[str, dict[str, float]]]:
+        """Per scenario label, per model: mean/min/max accuracy across seeds."""
+        grouped: dict[str, dict[str, list[float]]] = {}
+        for record in self.records:
+            models = grouped.setdefault(record.label, {})
+            for model, accuracy in record.table1:
+                models.setdefault(model, []).append(accuracy)
+        return {
+            label: {
+                model: {
+                    "mean": sum(values) / len(values),
+                    "min": min(values),
+                    "max": max(values),
+                    "n": float(len(values)),
+                }
+                for model, values in models.items()
+            }
+            for label, models in grouped.items()
+        }
+
+    def table2_aggregate(self) -> dict[str, dict[str, dict[str, float]]]:
+        """Per scenario label, per model: mean cpu/memory/model-size."""
+        grouped: dict[str, dict[str, list[tuple[float, float, float]]]] = {}
+        for record in self.records:
+            models = grouped.setdefault(record.label, {})
+            for model, cpu, memory, size in record.table2:
+                models.setdefault(model, []).append((cpu, memory, size))
+        return {
+            label: {
+                model: {
+                    "cpu_percent": sum(r[0] for r in rows) / len(rows),
+                    "memory_kb": sum(r[1] for r in rows) / len(rows),
+                    "model_size_kb": sum(r[2] for r in rows) / len(rows),
+                }
+                for model, rows in models.items()
+            }
+            for label, models in grouped.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Cache accounting
+
+    @property
+    def stages_total(self) -> int:
+        return sum(len(record.stage_cache) for record in self.records)
+
+    @property
+    def stages_executed(self) -> int:
+        return sum(
+            1
+            for record in self.records
+            for info in record.stage_cache.values()
+            if info["executed"]
+        )
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(
+            1
+            for record in self.records
+            for info in record.stage_cache.values()
+            if info["cache_hit"]
+        )
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.stages_total
+        return self.cache_hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Rendering
+
+    def to_dict(self, include_timing: bool = True) -> dict:
+        payload: dict = {
+            "runs": [record.to_dict(include_timing=include_timing) for record in self.records],
+            "table1_aggregate": self.table1_aggregate(),
+            "table2_aggregate": self.table2_aggregate(),
+        }
+        if include_timing:
+            payload["cache"] = {
+                "stages_total": self.stages_total,
+                "stages_executed": self.stages_executed,
+                "cache_hits": self.cache_hits,
+                "cache_hit_rate": self.cache_hit_rate,
+            }
+        return payload
+
+    def to_json(self, include_timing: bool = True) -> str:
+        return json.dumps(self.to_dict(include_timing=include_timing), indent=2, sort_keys=True)
+
+    def format_text(self) -> str:
+        """The ``ddoshield campaign`` console rendering."""
+        lines = [f"campaign: {len(self.records)} run(s)"]
+        for record in self.records:
+            cells = ", ".join(f"{model} {accuracy:.2f}%" for model, accuracy in record.table1)
+            lines.append(
+                f"  {record.label} seed={record.seed}: {cells} "
+                f"[{record.elapsed_seconds:.1f}s]"
+            )
+        lines.append("\nTable I aggregate — real-time accuracy (%) across seeds:")
+        for label, models in sorted(self.table1_aggregate().items()):
+            for model, stats in models.items():
+                lines.append(
+                    f"  {label} {model}: mean={stats['mean']:.2f} "
+                    f"min={stats['min']:.2f} max={stats['max']:.2f} (n={int(stats['n'])})"
+                )
+        lines.append("\nTable II aggregate — sustainability (mean across seeds):")
+        for label, models in sorted(self.table2_aggregate().items()):
+            for model, stats in models.items():
+                lines.append(
+                    f"  {label} {model}: cpu={stats['cpu_percent']:.2f}% "
+                    f"mem={stats['memory_kb']:.2f}Kb model={stats['model_size_kb']:.2f}Kb"
+                )
+        lines.append(
+            f"\ncache: {self.cache_hits}/{self.stages_total} stage(s) served from cache "
+            f"({100 * self.cache_hit_rate:.0f}%), {self.stages_executed} executed"
+        )
+        return "\n".join(lines)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+) -> CampaignReport:
+    """Execute the full grid and merge the records in grid order.
+
+    ``jobs > 1`` shards runs across a ``multiprocessing`` pool; results
+    are merged in grid order regardless of completion order, so the
+    report is deterministic for a given grid.  ``cache_dir`` points all
+    runs at one shared content-addressed artifact store, enabling both
+    cross-run reuse (shared stage prefixes within a campaign) and
+    resume-from-cache on repeated invocations.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    runs = expand_grid(spec, cache_dir=cache_dir)
+    if jobs == 1 or len(runs) == 1:
+        records = [execute_run(run) for run in runs]
+    else:
+        with multiprocessing.Pool(processes=min(jobs, len(runs))) as pool:
+            records = pool.map(execute_run, runs)
+    return CampaignReport(records=records)
+
+
+def experiment_to_record(
+    result: ExperimentResult, label: str, stage_cache: dict[str, dict] | None = None
+) -> RunRecord:
+    """Adapt a standalone :class:`ExperimentResult` into a campaign record."""
+    return RunRecord(
+        label=label,
+        seed=result.scenario.seed,
+        scenario=result.scenario.to_dict(),
+        faults=isinstance(result, FaultExperimentResult),
+        infection_seconds=result.infection_seconds,
+        train_summary=_summary_dict(result.train_summary),
+        detect_summary=_summary_dict(result.detect_summary),
+        table1=[list(row) for row in result.table1()],
+        table2=[list(row) for row in result.table2()],
+        training_metrics=[list(row) for row in result.training_metrics()],
+        fault_table=(
+            [list(row) for row in result.fault_table()]
+            if isinstance(result, FaultExperimentResult)
+            else None
+        ),
+        stage_cache=stage_cache or {},
+        elapsed_seconds=0.0,
+    )

@@ -1,0 +1,231 @@
+"""Stage protocol and DAG runner for the staged experiment pipeline.
+
+The paper's §IV-D procedure decomposes into five stages (BuildTestbed →
+CaptureTrain → TrainModels → CaptureDetect → Detect).  Two of them are
+*pure* — TrainModels and Detect consume only upstream artifacts — while
+the testbed stages additionally thread **live state** (the running
+simulator) that cannot be serialized.  The runner honours both:
+
+* every stage's output is a disk-serializable artifact, content-addressed
+  by :func:`~repro.pipeline.store.stage_key` so unchanged stages are
+  cache hits;
+* stages declare the live state they require/provide, and the runner
+  re-executes exactly the earlier live stages a cache-missing stage
+  needs (a fully-cached pipeline executes *nothing* — no simulation, no
+  training — and artifacts load on demand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.pipeline.store import ArtifactStore, stage_key
+from repro.testbed.scenario import Scenario
+
+
+class Stage:
+    """One cacheable step of an experiment pipeline.
+
+    Subclasses set ``name`` (unique within a pipeline), ``deps`` (names
+    of upstream stages whose artifacts feed :meth:`run` and whose keys
+    chain into this stage's cache key), and the live-state contract:
+    ``requires_state`` names context entries that must exist before
+    :meth:`run`, ``provides_state`` names entries it creates *or
+    mutates*.  A cache-missing stage forces every earlier provider of
+    its required state to re-execute, because live state (a running
+    testbed) cannot be reloaded from disk.
+    """
+
+    name: str = ""
+    deps: tuple[str, ...] = ()
+    requires_state: tuple[str, ...] = ()
+    provides_state: tuple[str, ...] = ()
+
+    def params(self) -> dict:
+        """JSON-serializable parameters hashed into the cache key."""
+        return {}
+
+    def run(self, ctx: "PipelineContext", inputs: dict[str, Any]) -> Any:
+        """Execute the stage; ``inputs`` maps dep name → artifact value."""
+        raise NotImplementedError
+
+    def save(self, value: Any, directory: Path) -> None:
+        """Serialize the artifact value into ``directory``."""
+        raise NotImplementedError
+
+    def load(self, directory: Path) -> Any:
+        """Reload an artifact previously written by :meth:`save`."""
+        raise NotImplementedError
+
+
+@dataclass
+class PipelineContext:
+    """Shared run context: the scenario, live state, and finalizers."""
+
+    scenario: Scenario
+    state: dict[str, Any] = field(default_factory=dict)
+    finalizers: list[Callable[[], None]] = field(default_factory=list)
+
+    def add_finalizer(self, fn: Callable[[], None]) -> None:
+        """Register teardown to run once the whole pipeline succeeds."""
+        self.finalizers.append(fn)
+
+
+@dataclass
+class StageOutcome:
+    """What happened to one stage during a pipeline run."""
+
+    name: str
+    key: str
+    cache_hit: bool  # artifact was already in the store
+    executed: bool  # run() was invoked (cache miss, or live-state need)
+
+
+class PipelineResult:
+    """Outcomes plus lazy access to every stage's artifact value."""
+
+    def __init__(
+        self,
+        stages: dict[str, Stage],
+        keys: dict[str, str],
+        outcomes: dict[str, StageOutcome],
+        values: dict[str, Any],
+        store: ArtifactStore | None,
+    ) -> None:
+        self.stages = stages
+        self.keys = keys
+        self.outcomes = outcomes
+        self._values = values
+        self.store = store
+
+    def value(self, name: str) -> Any:
+        """The artifact value of stage ``name`` (loads from cache lazily)."""
+        if name not in self._values:
+            if self.store is None:
+                raise KeyError(f"stage {name!r} produced no value and no store is set")
+            entry = self.store.open(self.keys[name])
+            self._values[name] = self.stages[name].load(entry)
+        return self._values[name]
+
+    @property
+    def executed(self) -> list[str]:
+        return [name for name, o in self.outcomes.items() if o.executed]
+
+    @property
+    def cache_hits(self) -> list[str]:
+        return [name for name, o in self.outcomes.items() if o.cache_hit]
+
+    def cache_summary(self) -> dict[str, dict]:
+        """Per-stage ``{"key", "cache_hit", "executed"}`` map (JSON-able)."""
+        return {
+            name: {
+                "key": outcome.key,
+                "cache_hit": outcome.cache_hit,
+                "executed": outcome.executed,
+            }
+            for name, outcome in self.outcomes.items()
+        }
+
+
+class PipelineRunner:
+    """Executes a stage DAG with content-addressed caching.
+
+    ``stages`` must be topologically ordered (each stage's deps appear
+    earlier); the §IV-D pipelines are naturally written that way.  With
+    ``store=None`` every stage executes (the uncached, monolith-
+    equivalent path).
+    """
+
+    def __init__(self, stages: list[Stage], store: ArtifactStore | None = None) -> None:
+        seen: set[str] = set()
+        for stage in stages:
+            if not stage.name:
+                raise ValueError(f"stage {stage!r} has no name")
+            if stage.name in seen:
+                raise ValueError(f"duplicate stage name {stage.name!r}")
+            missing = [dep for dep in stage.deps if dep not in seen]
+            if missing:
+                raise ValueError(
+                    f"stage {stage.name!r} depends on {missing} which do(es) not "
+                    "appear earlier in the pipeline"
+                )
+            seen.add(stage.name)
+        self.stages = list(stages)
+        self.store = store
+
+    def compute_keys(self, scenario: Scenario) -> dict[str, str]:
+        """Content keys for every stage (scenario + params + upstream)."""
+        scenario_dict = scenario.to_dict()
+        keys: dict[str, str] = {}
+        for stage in self.stages:
+            keys[stage.name] = stage_key(
+                stage.name,
+                scenario_dict,
+                stage.params(),
+                {dep: keys[dep] for dep in stage.deps},
+            )
+        return keys
+
+    def _must_run(self, cached: dict[str, bool]) -> set[str]:
+        """Stages to execute: cache misses plus their live-state chain."""
+        must_run = {name for name, hit in cached.items() if not hit}
+        changed = True
+        while changed:
+            changed = False
+            for index, stage in enumerate(self.stages):
+                if stage.name not in must_run:
+                    continue
+                for resource in stage.requires_state:
+                    for provider in self.stages[:index]:
+                        if (
+                            resource in provider.provides_state
+                            and provider.name not in must_run
+                        ):
+                            must_run.add(provider.name)
+                            changed = True
+        return must_run
+
+    def run(self, scenario: Scenario) -> PipelineResult:
+        """Execute the pipeline for ``scenario`` and return the outcomes."""
+        keys = self.compute_keys(scenario)
+        cached = {
+            stage.name: (
+                self.store.contains(keys[stage.name]) if self.store is not None else False
+            )
+            for stage in self.stages
+        }
+        must_run = self._must_run(cached)
+        stage_by_name = {stage.name: stage for stage in self.stages}
+        ctx = PipelineContext(scenario=scenario)
+        values: dict[str, Any] = {}
+        outcomes: dict[str, StageOutcome] = {}
+
+        def input_value(name: str) -> Any:
+            if name not in values:
+                assert self.store is not None  # cached[name] implies a store
+                entry = self.store.open(keys[name])
+                values[name] = stage_by_name[name].load(entry)
+            return values[name]
+
+        for stage in self.stages:
+            hit = cached[stage.name]
+            if stage.name not in must_run:
+                outcomes[stage.name] = StageOutcome(stage.name, keys[stage.name], hit, False)
+                continue
+            inputs = {dep: input_value(dep) for dep in stage.deps}
+            value = stage.run(ctx, inputs)
+            values[stage.name] = value
+            if self.store is not None and not hit:
+                staging = self.store.begin(keys[stage.name])
+                try:
+                    stage.save(value, staging)
+                except Exception:
+                    self.store.abort(staging)
+                    raise
+                self.store.commit(keys[stage.name], staging, meta={"stage": stage.name})
+            outcomes[stage.name] = StageOutcome(stage.name, keys[stage.name], hit, True)
+        for finalizer in ctx.finalizers:
+            finalizer()
+        return PipelineResult(stage_by_name, keys, outcomes, values, self.store)

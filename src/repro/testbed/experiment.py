@@ -48,7 +48,6 @@ from repro.ml import (
     train_test_split,
 )
 from repro.ml.metrics import ClassificationReport
-from repro.testbed.builder import Testbed
 from repro.testbed.scenario import Scenario
 
 
@@ -221,13 +220,27 @@ class ExperimentResult:
         """(model, real-time mean accuracy %) rows."""
         return [(r.model_name, 100.0 * r.mean_accuracy) for r in self.detection]
 
-    def table2(self) -> list[tuple[str, float, float, float]]:
-        """(model, cpu %, memory Kb, model size Kb) rows."""
+    def table2(self, strict: bool = False) -> list[tuple[str, float, float, float]]:
+        """(model, cpu %, memory Kb, model size Kb) rows.
+
+        Models whose detection ran without sustainability metering
+        (``report.sustainability is None``) are skipped rather than
+        crashing; pass ``strict=True`` to raise a ``ValueError`` naming
+        the unmetered models instead.
+        """
         rows = []
+        unmetered = []
         for report in self.detection:
             s = report.sustainability
-            assert s is not None
+            if s is None:
+                unmetered.append(report.model_name)
+                continue
             rows.append((report.model_name, s.cpu_percent, s.memory_kb, s.model_size_kb))
+        if strict and unmetered:
+            raise ValueError(
+                f"no sustainability metrics for: {', '.join(unmetered)} "
+                "(detection ran with metering disabled)"
+            )
         return rows
 
     def training_metrics(self) -> list[tuple[str, float, float, float, float]]:
@@ -272,6 +285,7 @@ def run_fault_experiment(
     detect_duration: float = 30.0,
     specs: Sequence[ModelSpec] | None = None,
     fault_plan: FaultPlan | None = None,
+    store: "object | str | None" = None,
 ) -> FaultExperimentResult:
     """§IV-D with an impaired detection run: train clean, detect under faults.
 
@@ -280,55 +294,25 @@ def run_fault_experiment(
     :meth:`Scenario.default_fault_schedule` — is armed only for the
     detection capture.  Every IDS is told the plan's degraded intervals
     so its report separates healthy from degraded accuracy.
+
+    A thin composition over the staged pipeline
+    (:func:`repro.pipeline.run_experiment_pipeline`): pass ``store`` (an
+    :class:`~repro.pipeline.store.ArtifactStore` or cache directory) to
+    serve unchanged stages from the content-addressed cache.
     """
-    scenario = scenario or Scenario()
-    plan = fault_plan or scenario.fault_plan
-    if plan is None:
-        plan = scenario.default_fault_schedule(detect_duration)
-    testbed = Testbed(scenario).build()
-    infection_seconds = testbed.infect_all()
-    train_capture = testbed.capture(
-        train_duration, scenario.training_schedule(train_duration)
-    )
-    trained = train_models(
-        train_capture,
-        specs=specs,
-        window_seconds=scenario.window_seconds,
-        seed=scenario.seed,
-    )
-    base = testbed.sim.now
-    detect_capture = testbed.capture(
-        detect_duration,
-        scenario.detection_schedule(detect_duration),
-        fault_plan=plan,
-    )
-    detection = run_realtime_detection(
-        detect_capture,
-        trained,
-        window_seconds=scenario.window_seconds,
-        degraded_intervals=[
-            (base + start, base + stop) for start, stop in plan.degraded_intervals()
-        ],
-        until=base + detect_duration,
-    )
-    testbed.sim.finalize()  # teardown sanitizer checks (no-op when disabled)
-    injector = testbed.fault_injector
-    return FaultExperimentResult(
+    from repro.pipeline.stages import run_experiment_pipeline
+
+    result, _ = run_experiment_pipeline(
         scenario=scenario,
-        train_summary=train_capture.summary(),
-        detect_summary=detect_capture.summary(),
-        trained=trained,
-        detection=detection,
-        infection_seconds=infection_seconds,
-        fault_plan=plan,
-        fault_events=list(injector.log) if injector is not None else [],
-        supervisor_events=list(testbed.orchestrator.events),
-        restarts={
-            name: container.restart_count
-            for name, container in testbed.orchestrator.containers.items()
-            if container.restart_count
-        },
+        train_duration=train_duration,
+        detect_duration=detect_duration,
+        specs=specs,
+        fault_plan=fault_plan,
+        faults=True,
+        store=store,
     )
+    assert isinstance(result, FaultExperimentResult)
+    return result
 
 
 def run_full_experiment(
@@ -336,32 +320,25 @@ def run_full_experiment(
     train_duration: float = 60.0,
     detect_duration: float = 30.0,
     specs: Sequence[ModelSpec] | None = None,
+    store: "object | str | None" = None,
 ) -> ExperimentResult:
-    """The complete §IV-D procedure on one testbed instance."""
-    scenario = scenario or Scenario()
-    testbed = Testbed(scenario).build()
-    infection_seconds = testbed.infect_all()
-    train_capture = testbed.capture(
-        train_duration, scenario.training_schedule(train_duration)
-    )
-    trained = train_models(
-        train_capture,
-        specs=specs,
-        window_seconds=scenario.window_seconds,
-        seed=scenario.seed,
-    )
-    detect_capture = testbed.capture(
-        detect_duration, scenario.detection_schedule(detect_duration)
-    )
-    detection = run_realtime_detection(
-        detect_capture, trained, window_seconds=scenario.window_seconds
-    )
-    testbed.sim.finalize()  # teardown sanitizer checks (no-op when disabled)
-    return ExperimentResult(
+    """The complete §IV-D procedure on one testbed instance.
+
+    A thin composition over the staged pipeline (BuildTestbed →
+    CaptureTrain → TrainModels → CaptureDetect → Detect); results are
+    byte-identical to the historical monolithic flow for the same seed.
+    Pass ``store`` (an :class:`~repro.pipeline.store.ArtifactStore` or a
+    cache directory path) to serve unchanged stages from the
+    content-addressed cache.
+    """
+    from repro.pipeline.stages import run_experiment_pipeline
+
+    result, _ = run_experiment_pipeline(
         scenario=scenario,
-        train_summary=train_capture.summary(),
-        detect_summary=detect_capture.summary(),
-        trained=trained,
-        detection=detection,
-        infection_seconds=infection_seconds,
+        train_duration=train_duration,
+        detect_duration=detect_duration,
+        specs=specs,
+        faults=False,
+        store=store,
     )
+    return result

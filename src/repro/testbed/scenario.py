@@ -14,7 +14,7 @@ the class balance target (~57% malicious, §IV-D) is preserved.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.faults.plan import FaultPlan, FaultSpec
 
@@ -70,6 +70,43 @@ class Scenario:
             raise ValueError(f"need at least one device, got {self.n_devices}")
         if self.window_seconds <= 0:
             raise ValueError("window_seconds must be positive")
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (cache keys, campaign grids)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form of the full configuration.
+
+        The dict is flat (one key per dataclass field) except
+        ``fault_plan``, which nests :meth:`FaultPlan.to_dict` (or None).
+        Field order follows the dataclass definition, so canonical-JSON
+        dumps of two equal scenarios are byte-identical.
+        """
+        payload = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "fault_plan":
+                value = value.to_dict() if value is not None else None
+            payload[spec.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict`.
+
+        Goes through ``__init__``, so ``__post_init__`` validation fires
+        exactly as it would for a hand-written scenario.  Unknown keys
+        are rejected (they signal a schema mismatch, not extra data).
+        """
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown Scenario field(s): {sorted(unknown)}")
+        data = dict(payload)
+        plan = data.get("fault_plan")
+        if plan is not None:
+            data["fault_plan"] = FaultPlan.from_dict(plan)
+        return cls(**data)
 
     def training_schedule(self, duration: float = 60.0, pps_per_bot: float = 250.0) -> list[AttackPhase]:
         """The dataset-generation run: three short, hard flood bursts.

@@ -1,0 +1,149 @@
+"""Campaign runner: grid expansion, aggregates, parallel + cached runs."""
+
+import pytest
+
+from repro.pipeline import (
+    CampaignReport,
+    CampaignSpec,
+    RunRecord,
+    expand_grid,
+    run_campaign,
+)
+from repro.testbed import Scenario
+
+TRAIN, DETECT = 20.0, 10.0
+
+
+class TestCampaignSpec:
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError, match="scenario"):
+            CampaignSpec(scenarios=(), seeds=(1,))
+        with pytest.raises(ValueError, match="seed"):
+            CampaignSpec(scenarios=(Scenario(n_devices=2),), seeds=())
+
+    def test_rejects_label_mismatch(self):
+        with pytest.raises(ValueError, match="label"):
+            CampaignSpec(
+                scenarios=(Scenario(n_devices=2),), seeds=(1,), labels=("a", "b")
+            )
+
+    def test_default_labels(self):
+        spec = CampaignSpec(
+            scenarios=(Scenario(n_devices=2), Scenario(n_devices=4)), seeds=(1,)
+        )
+        assert spec.scenario_labels() == ("s0-dev2", "s1-dev4")
+
+
+class TestExpandGrid:
+    def test_scenario_by_seed_in_grid_order(self):
+        spec = CampaignSpec(
+            scenarios=(Scenario(n_devices=2), Scenario(n_devices=3)),
+            seeds=(5, 7),
+            train_duration=TRAIN,
+            detect_duration=DETECT,
+        )
+        runs = expand_grid(spec, cache_dir="cache")
+        assert [(r.label, r.seed) for r in runs] == [
+            ("s0-dev2", 5), ("s0-dev2", 7), ("s1-dev3", 5), ("s1-dev3", 7)
+        ]
+        # The grid seed overrides the scenario's own seed.
+        assert all(r.scenario.seed == r.seed for r in runs)
+        assert all(r.cache_dir == "cache" for r in runs)
+
+
+def record(label, seed, table1, table2=()):
+    return RunRecord(
+        label=label, seed=seed, scenario={}, faults=False, infection_seconds=1.0,
+        train_summary={}, detect_summary={},
+        table1=[list(row) for row in table1],
+        table2=[list(row) for row in table2],
+        training_metrics=[], fault_table=None,
+        stage_cache={}, elapsed_seconds=0.0,
+    )
+
+
+class TestCampaignReportAggregates:
+    def test_table1_aggregate_groups_by_label_and_model(self):
+        report = CampaignReport(records=[
+            record("a", 1, [("RF", 90.0), ("CNN", 95.0)]),
+            record("a", 2, [("RF", 94.0), ("CNN", 97.0)]),
+            record("b", 1, [("RF", 80.0)]),
+        ])
+        agg = report.table1_aggregate()
+        assert agg["a"]["RF"] == {"mean": 92.0, "min": 90.0, "max": 94.0, "n": 2.0}
+        assert agg["a"]["CNN"]["mean"] == 96.0
+        assert agg["b"]["RF"]["n"] == 1.0
+
+    def test_table2_aggregate_means(self):
+        report = CampaignReport(records=[
+            record("a", 1, [], table2=[("RF", 10.0, 100.0, 50.0)]),
+            record("a", 2, [], table2=[("RF", 30.0, 300.0, 50.0)]),
+        ])
+        agg = report.table2_aggregate()
+        assert agg["a"]["RF"] == {
+            "cpu_percent": 20.0, "memory_kb": 200.0, "model_size_kb": 50.0
+        }
+
+    def test_cache_accounting(self):
+        rec = record("a", 1, [])
+        rec.stage_cache = {
+            "build": {"key": "k1", "cache_hit": True, "executed": False},
+            "detect": {"key": "k2", "cache_hit": False, "executed": True},
+        }
+        report = CampaignReport(records=[rec])
+        assert report.stages_total == 2
+        assert report.cache_hits == 1
+        assert report.stages_executed == 1
+        assert report.cache_hit_rate == 0.5
+
+
+class TestRunCampaign:
+    def test_rejects_bad_jobs(self):
+        spec = CampaignSpec(scenarios=(Scenario(n_devices=2),), seeds=(5,))
+        with pytest.raises(ValueError, match="jobs"):
+            run_campaign(spec, jobs=0)
+
+    @pytest.fixture(scope="class")
+    def small_spec(self):
+        return CampaignSpec(
+            scenarios=(Scenario(n_devices=2),),
+            seeds=(5, 7),
+            train_duration=TRAIN,
+            detect_duration=DETECT,
+        )
+
+    @pytest.fixture(scope="class")
+    def cold_run(self, small_spec, tmp_path_factory):
+        """One parallel cold campaign; later tests reuse its warm cache."""
+        cache = tmp_path_factory.mktemp("campaign-cache")
+        return run_campaign(small_spec, jobs=2, cache_dir=cache), cache
+
+    def test_parallel_campaign_executes_grid(self, cold_run):
+        first, _ = cold_run
+        assert len(first.records) == 2
+        assert [r.seed for r in first.records] == [5, 7]  # grid order kept
+        assert first.stages_executed == first.stages_total == 10
+        assert all(r.table1 for r in first.records)
+        # Different seeds produce genuinely different runs.
+        assert first.records[0].table1 != first.records[1].table1
+
+    def test_cached_repeat_executes_nothing(self, small_spec, cold_run):
+        # Repeat against the warm cache: zero stages execute, every stage
+        # is a hit, and the report content (timing aside) is identical.
+        first, cache = cold_run
+        second = run_campaign(small_spec, jobs=1, cache_dir=cache)
+        assert second.stages_executed == 0
+        assert second.cache_hits == second.stages_total == 10
+        assert second.cache_hit_rate == 1.0
+        assert second.to_dict(include_timing=False) == first.to_dict(include_timing=False)
+
+    def test_report_renders(self, small_spec, cold_run):
+        _, cache = cold_run
+        report = run_campaign(small_spec, jobs=1, cache_dir=cache)
+        text = report.format_text()
+        assert "Table I aggregate" in text
+        assert "Table II aggregate" in text
+        assert "cache:" in text
+        payload = report.to_dict()
+        assert payload["cache"]["stages_total"] == 10
+        assert len(payload["runs"]) == 2

@@ -32,6 +32,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["teardown"])
 
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.devices == "6"
+        assert args.seeds == "7"
+        assert args.jobs == 1
+        assert args.cache_dir == ".ddoshield-cache"
+        assert args.min_cache_hit_rate is None
+
+    def test_campaign_options(self):
+        args = build_parser().parse_args(
+            ["campaign", "--devices", "2,4", "--seeds", "5,7", "--jobs", "2",
+             "--cache-dir", "c", "--min-cache-hit-rate", "0.5", "--faults"]
+        )
+        assert args.devices == "2,4"
+        assert args.seeds == "5,7"
+        assert args.jobs == 2
+        assert args.faults is True
+        assert args.min_cache_hit_rate == 0.5
+
 
 class TestCommands:
     def test_inventory_runs(self, capsys):
@@ -75,3 +94,52 @@ class TestCommands:
         assert "Table I" in out
         assert "Table II" in out
         assert "RF" in out and "K-Means" in out and "CNN" in out
+
+    def test_campaign_runs_and_resumes_from_cache(self, tmp_path, capsys):
+        import json
+
+        cache = tmp_path / "cache"
+        argv = ["campaign", "--devices", "2", "--seeds", "5",
+                "--train-duration", "20", "--detect-duration", "10",
+                "--cache-dir", str(cache)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "Table I aggregate" in cold
+        assert "5 executed" in cold
+
+        out_json = tmp_path / "report.json"
+        warm_argv = argv + ["--min-cache-hit-rate", "0.99", "--out", str(out_json)]
+        assert main(warm_argv) == 0
+        warm = capsys.readouterr().out
+        assert "5/5 stage(s) served from cache (100%)" in warm
+        payload = json.loads(out_json.read_text())
+        assert payload["cache"]["cache_hits"] == 5
+
+    def test_campaign_min_hit_rate_fails_cold_run(self, tmp_path, capsys):
+        code = main(
+            ["campaign", "--devices", "2", "--seeds", "6",
+             "--train-duration", "20", "--detect-duration", "10",
+             "--cache-dir", str(tmp_path / "cache"),
+             "--min-cache-hit-rate", "0.5"]
+        )
+        assert code == 1
+        assert "below required" in capsys.readouterr().out
+
+    def test_campaign_scenarios_file(self, tmp_path, capsys):
+        import json
+
+        from repro.testbed import Scenario
+
+        scenarios = tmp_path / "scenarios.json"
+        scenarios.write_text(json.dumps([Scenario(n_devices=2).to_dict()]))
+        code = main(
+            ["campaign", "--scenarios", str(scenarios), "--seeds", "5",
+             "--train-duration", "20", "--detect-duration", "10",
+             "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert code == 0
+        assert "s0-dev2 seed=5" in capsys.readouterr().out
+
+    def test_campaign_rejects_bad_int_list(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--devices", "two"])

@@ -75,6 +75,21 @@ class TestExperimentResult:
         assert name == "RF"
         assert (acc, p, r, f1) == (0.99, 0.98, 0.97, 0.975)
 
+    def test_table2_skips_unmetered_models(self):
+        result = make_result()
+        unmetered = DetectionReport("CNN")
+        unmetered.windows.append(WindowResult(0, 0.0, 10, 0, 0, 0.8))
+        unmetered.sustainability = None
+        result.detection.append(unmetered)
+        # The metered row survives; the unmetered one is skipped, not a crash.
+        assert result.table2() == [("RF", 60.0, 100.0, 50.0)]
+        with pytest.raises(ValueError, match="CNN"):
+            result.table2(strict=True)
+
+    def test_table2_strict_ok_when_all_metered(self):
+        result = make_result()
+        assert result.table2(strict=True) == result.table2()
+
 
 class TestSustainabilityMetrics:
     def test_str_includes_energy(self):
