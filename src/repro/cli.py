@@ -18,6 +18,12 @@ Four commands cover the testbed's day-to-day uses:
   lifecycle, and print the live component inventory;
 * ``ddoshield bench-features`` — time the vectorized feature pipeline
   against the legacy per-record path and write ``BENCH_features.json``;
+* ``ddoshield timeline`` — run one telemetry-enabled experiment and
+  render the unified per-second run timeline (traffic bars, accuracy,
+  attack/fault/queue-drop markers) as an ASCII chart, with optional
+  CSV/JSON/Chrome-trace exports;
+* ``ddoshield metrics`` — run one telemetry-enabled experiment and dump
+  the metrics registry plus a per-span cost summary;
 * ``ddoshield lint`` — run the determinism linter (repro.analysis) over
   the source tree against the committed baseline.
 """
@@ -186,6 +192,80 @@ def cmd_bench_features(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_observed(args: argparse.Namespace):
+    """Run one experiment inside an enabled telemetry scope.
+
+    Returns ``(result, octx)`` — the scope's live context outlives the
+    run, so commands can render from the real registry/tracer objects
+    rather than the serialized ``result.telemetry`` snapshot.
+    """
+    from repro import obs
+    from repro.testbed import Scenario, run_fault_experiment, run_full_experiment
+
+    scenario = Scenario(n_devices=args.devices, seed=args.seed)
+    with obs.scope() as octx:
+        if args.faults:
+            result = run_fault_experiment(
+                scenario,
+                train_duration=args.train_duration,
+                detect_duration=args.detect_duration,
+            )
+        else:
+            result = run_full_experiment(
+                scenario,
+                train_duration=args.train_duration,
+                detect_duration=args.detect_duration,
+            )
+    return result, octx
+
+
+def _write_chrome_trace(octx, path: str) -> None:
+    import json
+
+    from repro.obs import chrome_trace
+
+    Path(path).write_text(json.dumps(chrome_trace(octx.tracer.spans), indent=2))
+    print(f"wrote {path}")
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.obs import timeline_from_result
+
+    result, octx = _run_observed(args)
+    timeline = timeline_from_result(result, bucket_seconds=args.bucket_seconds)
+    print(timeline.render_ascii(width=args.width))
+    if args.csv:
+        Path(args.csv).write_text(timeline.to_csv())
+        print(f"wrote {args.csv}")
+    if args.json:
+        Path(args.json).write_text(timeline.to_json())
+        print(f"wrote {args.json}")
+    if args.trace:
+        _write_chrome_trace(octx, args.trace)
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    _, octx = _run_observed(args)
+    print(octx.registry.format_text(include_wall=not args.no_wall))
+    spans: dict[str, list] = {}
+    for span in octx.tracer.spans:
+        spans.setdefault(span.name, []).append(span)
+    if spans:
+        print("\nspans:")
+        for name in sorted(spans):
+            group = spans[name]
+            sim_total = sum(s.sim_duration for s in group)
+            line = f"  {name}: n={len(group)} sim={sim_total:.3f}s"
+            if not args.no_wall:
+                wall_total = 1000.0 * sum(s.wall_seconds for s in group)
+                line += f" wall={wall_total:.1f}ms"
+            print(line)
+    if args.trace:
+        _write_chrome_trace(octx, args.trace)
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import (
         Baseline,
@@ -289,6 +369,38 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=3)
     bench.add_argument("--out", default="BENCH_features.json")
     bench.set_defaults(fn=cmd_bench_features)
+
+    def _add_observed_args(p: argparse.ArgumentParser) -> None:
+        _add_scenario_args(p)
+        p.add_argument("--train-duration", type=float, default=60.0)
+        p.add_argument("--detect-duration", type=float, default=30.0)
+        p.add_argument("--faults", action="store_true",
+                       help="impair the detection phase with the scenario's fault plan")
+        p.add_argument("--trace", default=None,
+                       help="also write a Chrome trace_event JSON (chrome://tracing)")
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="run a telemetry-enabled experiment and chart the per-second timeline",
+    )
+    _add_observed_args(timeline)
+    timeline.add_argument("--bucket-seconds", type=float, default=1.0)
+    timeline.add_argument("--width", type=int, default=40,
+                          help="traffic bar width in characters (default: 40)")
+    timeline.add_argument("--csv", default=None, help="also write the timeline as CSV")
+    timeline.add_argument("--json", default=None, help="also write the timeline as JSON")
+    timeline.set_defaults(fn=cmd_timeline)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a telemetry-enabled experiment and dump the metrics registry",
+    )
+    _add_observed_args(metrics)
+    metrics.add_argument(
+        "--no-wall", action="store_true",
+        help="drop wall-clock-derived metrics (deterministic output for a seed)",
+    )
+    metrics.set_defaults(fn=cmd_metrics)
 
     lint = sub.add_parser(
         "lint", help="run the determinism linter against the committed baseline"

@@ -19,6 +19,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.containers.bridge import TapBridge
 from repro.containers.container import Container, ContainerState
 from repro.containers.image import Image, Registry
@@ -119,6 +120,10 @@ class Orchestrator:
         self._supervised: dict[str, _Supervision] = {}
         self._rng = random.Random(seed)
         self.events: list[SupervisorEvent] = []
+        ctx = obs.current()
+        self._obs_events = ctx.events
+        self._obs_registry = ctx.registry
+        self._obs_restarts = ctx.registry.counter("container.restarts")
 
     def add_service(self, spec: ServiceSpec) -> None:
         """Register a service to be instantiated by :meth:`up`."""
@@ -291,3 +296,26 @@ class Orchestrator:
 
     def _record(self, name: str, action: str, detail: str = "") -> None:
         self.events.append(SupervisorEvent(self.sim.now, name, action, detail))
+        self._obs_events.record(self.sim.now, f"supervisor.{action}", detail=name)
+        if action == "restart":
+            self._obs_restarts.inc()
+
+    def sample_resources(self) -> None:
+        """Publish each container's cgroup-style CPU/memory into telemetry.
+
+        Point-in-time gauges labeled by container — the analogue of one
+        ``docker stats`` sample.  Cheap no-ops when telemetry is off.
+        """
+        if not self._obs_registry.enabled:
+            return
+        for name, container in sorted(self.containers.items()):
+            usage = container.resources.usage
+            self._obs_registry.gauge("container.cpu_seconds", container=name).set(
+                usage.cpu_seconds
+            )
+            self._obs_registry.gauge("container.memory_bytes", container=name).set(
+                usage.memory_bytes
+            )
+            self._obs_registry.gauge(
+                "container.peak_memory_bytes", container=name
+            ).set(usage.peak_memory_bytes)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.faults.plan import ALL_TARGETS, FaultPlan, FaultSpec
 from repro.sim.channel import ChannelImpairment, CsmaChannel, CsmaNetDevice
 from repro.sim.core import Simulator
@@ -91,6 +92,7 @@ class FaultInjector(ChannelImpairment):
         self.frames_corrupted = 0
         self.frames_delayed = 0
         self.extra_delay_total = 0.0
+        self._obs_events = obs.current().events
         channel.set_fault_injector(self)
 
     # ------------------------------------------------------------------
@@ -211,6 +213,7 @@ class FaultInjector(ChannelImpairment):
         self.log.append(
             FaultEvent(self.sim.now, action, spec.kind, spec.targets, detail)
         )
+        self._obs_events.record(self.sim.now, f"fault.{action}", detail=spec.kind)
 
     def detach(self) -> None:
         """Remove the injector from its channel (end of a fault phase)."""

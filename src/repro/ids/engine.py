@@ -17,6 +17,7 @@ from typing import Protocol, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.features.columnar import RecordBatch
 from repro.features.pipeline import FeatureExtractor
 from repro.features.window import WindowAggregator
@@ -64,8 +65,13 @@ class RealTimeIds:
         self.extractor = extractor or FeatureExtractor(window_seconds=window_seconds)
         self.scaler = scaler or _IdentityScaler()
         self.window_seconds = window_seconds
-        self.meter = meter or ResourceMeter(window_seconds)
+        self.meter = meter or ResourceMeter(window_seconds, model=model_name)
         self.monitor = TrafficMonitor(self._on_record)
+        ctx = obs.current()
+        self._obs_events = ctx.events
+        self._obs_errors = ctx.registry.counter(
+            "ids.classifier_errors", model=model_name
+        )
         # Late-bound dispatch so wrappers (e.g. MitigatingIds) can hook
         # the per-window handler after construction.
         self._aggregator = WindowAggregator(
@@ -139,6 +145,7 @@ class RealTimeIds:
             # Classifier/pipeline failure mid-run: degrade the window
             # instead of taking the whole IDS down with it.
             self.classifier_errors += 1
+            self._obs_errors.inc()
             predictions = np.zeros(len(records), dtype=int)
             status = STATUS_DEGRADED
         finally:
@@ -148,6 +155,9 @@ class RealTimeIds:
         flagged = int(predictions.sum())
         if flagged:
             self.alerts.append((start_time, flagged))
+        self._obs_events.record(
+            start_time, "ids.window", detail=self.model_name, value=accuracy
+        )
         self.report.windows.append(
             WindowResult(
                 window_index=index,

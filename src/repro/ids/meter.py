@@ -16,6 +16,14 @@ Table II's three metrics, measured for real:
   detection step occupies on top of the resident model).
 * **Model size (Kb)** — real pickled size of the trained model (the
   paper's PKL file).
+
+The meter is backed by :mod:`repro.obs` instruments rather than a private
+struct: its measurements live in a meter-owned registry (so Table II math
+is exact per run) and, when an ambient telemetry scope is active, are
+mirrored into it under the same names — ``ids.cpu_seconds``,
+``ids.window_peak_memory_bytes``, ``ids.windows_measured`` — labeled by
+model.  CPU and memory are wall-clock-derived and registered with
+``wall=True`` so deterministic snapshots exclude them.
 """
 
 from __future__ import annotations
@@ -24,6 +32,9 @@ import time
 import tracemalloc
 from dataclasses import dataclass
 
+from repro import obs
+from repro.obs.registry import MetricsRegistry, NULL_INSTRUMENT
+
 #: How many times slower than the benchmark host an IoT-class core is.
 #: 1 host-CPU-millisecond per 1 s window ≈ 2.5% IoT CPU at this scale.
 IOT_CPU_SCALE = 0.04
@@ -31,6 +42,11 @@ IOT_CPU_SCALE = 0.04
 #: Active power draw of an IoT-class SoC core (W).  Used for the §VI
 #: Green-AI energy estimates: energy = IoT-CPU-seconds × IOT_WATTS.
 IOT_WATTS = 2.5
+
+#: Peak-allocation histogram buckets in bytes (10 KB .. 100 MB).
+MEMORY_BUCKETS: tuple[float, ...] = (
+    1e4, 5e4, 1e5, 5e5, 1e6, 5e6, 1e7, 5e7, 1e8,
+)
 
 
 @dataclass(frozen=True)
@@ -65,16 +81,43 @@ class SustainabilityMetrics:
 
 
 class ResourceMeter:
-    """Accumulates per-window CPU and peak-memory measurements."""
+    """Accumulates per-window CPU and peak-memory measurements.
 
-    def __init__(self, window_seconds: float, iot_cpu_scale: float = IOT_CPU_SCALE) -> None:
+    ``model`` labels the mirrored ambient metrics so one telemetry scope
+    can hold several models' meters side by side.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float,
+        iot_cpu_scale: float = IOT_CPU_SCALE,
+        model: str = "",
+    ) -> None:
         if window_seconds <= 0:
             raise ValueError(f"window_seconds must be positive, got {window_seconds}")
         self.window_seconds = window_seconds
         self.iot_cpu_scale = iot_cpu_scale
-        self.cpu_seconds_total = 0.0
-        self.peak_memory_bytes: list[int] = []
-        self.windows_measured = 0
+        self.model = model
+        # Meter-owned instruments: exact per-run accounting.
+        self._registry = MetricsRegistry(enabled=True)
+        self._cpu = self._registry.counter("ids.cpu_seconds", wall=True)
+        self._memory = self._registry.histogram(
+            "ids.window_peak_memory_bytes", buckets=MEMORY_BUCKETS, wall=True
+        )
+        self._windows = self._registry.counter("ids.windows_measured")
+        # Ambient mirrors: null objects unless a telemetry scope is active.
+        ctx = obs.current()
+        if ctx.enabled:
+            labels = {"model": model} if model else {}
+            self._pub_cpu = ctx.registry.counter("ids.cpu_seconds", wall=True, **labels)
+            self._pub_memory = ctx.registry.histogram(
+                "ids.window_peak_memory_bytes", buckets=MEMORY_BUCKETS, wall=True, **labels
+            )
+            self._pub_windows = ctx.registry.counter("ids.windows_measured", **labels)
+        else:
+            self._pub_cpu = NULL_INSTRUMENT
+            self._pub_memory = NULL_INSTRUMENT
+            self._pub_windows = NULL_INSTRUMENT
         self._cpu_start: float | None = None
         self._tracing = False
 
@@ -90,14 +133,28 @@ class ResourceMeter:
         """Finish measuring; accumulates CPU seconds and peak bytes."""
         if self._cpu_start is None:
             raise RuntimeError("end_window() without start_window()")
-        self.cpu_seconds_total += time.process_time() - self._cpu_start
+        elapsed = time.process_time() - self._cpu_start
+        self._cpu.inc(elapsed)
+        self._pub_cpu.inc(elapsed)
         self._cpu_start = None
         if tracemalloc.is_tracing():
             _, peak = tracemalloc.get_traced_memory()
-            self.peak_memory_bytes.append(peak)
+            self._memory.observe(peak)
+            self._pub_memory.observe(peak)
             if self._tracing:
                 tracemalloc.stop()
-        self.windows_measured += 1
+        self._windows.inc()
+        self._pub_windows.inc()
+
+    @property
+    def cpu_seconds_total(self) -> float:
+        """Host CPU seconds consumed by detection compute so far."""
+        return self._cpu.value
+
+    @property
+    def windows_measured(self) -> int:
+        """Number of windows measured so far."""
+        return int(self._windows.value)
 
     @property
     def cpu_percent(self) -> float:
@@ -110,9 +167,7 @@ class ResourceMeter:
     @property
     def memory_kb(self) -> float:
         """Mean per-window peak allocation in Kb."""
-        if not self.peak_memory_bytes:
-            return 0.0
-        return sum(self.peak_memory_bytes) / len(self.peak_memory_bytes) / 1000.0
+        return self._memory.mean / 1000.0
 
     @property
     def energy_mj_per_window(self) -> float:

@@ -157,6 +157,39 @@ class DetectionReport:
         """(window start time, accuracy) pairs — the per-second trace."""
         return [(w.start_time, w.accuracy) for w in self.windows]
 
+    def per_second_accuracy(self, bucket_seconds: float = 1.0) -> list[dict]:
+        """Packet-weighted verdict-vs-truth accuracy per time bucket.
+
+        Groups scored windows by ``start_time // bucket_seconds`` and
+        weights each window's accuracy by its packet count, so buckets
+        that straddle an attack edge show the boundary dip the paper
+        reports (the "first and last second of an attack").  Returns one
+        ``{"second", "accuracy", "n_packets", "n_windows"}`` dict per
+        non-empty bucket, in time order; buckets holding only unscored
+        (empty/outage) windows are omitted.
+        """
+        if bucket_seconds <= 0:
+            raise ValueError(f"bucket_seconds must be positive, got {bucket_seconds}")
+        packets: dict[int, int] = {}
+        weighted: dict[int, float] = {}
+        windows: dict[int, int] = {}
+        for w in self.windows:
+            if not w.scored:
+                continue
+            bucket = int(w.start_time // bucket_seconds)
+            packets[bucket] = packets.get(bucket, 0) + w.n_packets
+            weighted[bucket] = weighted.get(bucket, 0.0) + w.accuracy * w.n_packets
+            windows[bucket] = windows.get(bucket, 0) + 1
+        return [
+            {
+                "second": bucket * bucket_seconds,
+                "accuracy": weighted[bucket] / packets[bucket],
+                "n_packets": packets[bucket],
+                "n_windows": windows[bucket],
+            }
+            for bucket in sorted(packets)
+        ]
+
     def boundary_windows(self) -> list[WindowResult]:
         """Windows adjacent to a traffic-regime flip (attack edges).
 

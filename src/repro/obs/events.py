@@ -1,0 +1,86 @@
+"""Sim-time telemetry events: the attribution substrate of run timelines.
+
+Counters say *how many*; events say *when*.  An :class:`ObsEvent` is one
+timestamped fact — a queue drop, a fault activation, an attack launch, a
+supervisor restart, an IDS window verdict — recorded against the
+simulator's virtual clock, so per-second timeline buckets can attribute
+an accuracy dip or traffic spike to what happened in that same second.
+
+Events are deterministic by construction: they carry only sim-time and
+sim-derived values, never wall clocks, and export in a stable sort
+order.  Recording into a disabled log is a no-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class ObsEvent:
+    """One timestamped telemetry fact.
+
+    ``kind`` is dotted and hierarchical (``queue.drop``,
+    ``fault.activate``, ``attack.start``, ``supervisor.restart``,
+    ``ids.window``); ``detail`` narrows it (queue name, attack kind,
+    container, model) and ``value`` carries an optional measurement
+    (defaults to 1.0 so plain occurrences sum into per-second counts).
+    """
+
+    time: float
+    kind: str
+    detail: str = ""
+    value: float = 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "detail": self.detail,
+            "value": self.value,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ObsEvent":
+        return cls(**payload)
+
+
+class EventLog:
+    """An append-only, optionally disabled log of :class:`ObsEvent`."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: list[ObsEvent] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[ObsEvent]:
+        return iter(self.events)
+
+    def record(
+        self, time: float, kind: str, detail: str = "", value: float = 1.0
+    ) -> None:
+        """Append one event (no-op when the log is disabled)."""
+        if not self.enabled:
+            return
+        self.events.append(ObsEvent(time, kind, detail, value))
+
+    def by_kind(self, prefix: str) -> list[ObsEvent]:
+        """Events whose kind equals or starts with ``prefix``."""
+        return [
+            e
+            for e in self.events
+            if e.kind == prefix or e.kind.startswith(prefix + ".")
+        ]
+
+    def to_dicts(self) -> list[dict]:
+        """Deterministically ordered JSON-able export."""
+        ordered = sorted(self.events, key=lambda e: (e.time, e.kind, e.detail))
+        return [e.to_dict() for e in ordered]
+
+
+def events_from_dicts(payload: Iterable[dict]) -> list[ObsEvent]:
+    """Rebuild events from an exported snapshot."""
+    return [ObsEvent.from_dict(entry) for entry in payload]

@@ -1,0 +1,218 @@
+"""Sim-scoped metrics: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` hands out instrument objects keyed by
+``(name, labels)``.  Instruments are plain attribute-bumping objects —
+no locks, no string formatting on the hot path — so components grab a
+handle once and call ``inc()``/``set()``/``observe()`` per event.
+
+The registry has an explicit **no-op fast path**: a disabled registry
+returns the shared :data:`NULL_INSTRUMENT`, whose methods do nothing, so
+instrumented code costs a single no-op method call when telemetry is
+off.  ``tests/test_obs.py`` pins this with a bounded-ratio overhead test
+and :mod:`repro.obs.bench` measures it.
+
+Metrics that read wall clocks (CPU seconds, tracemalloc peaks) are
+registered with ``wall=True`` and excluded from deterministic snapshots
+(``snapshot(include_wall=False)``), which is what ``ddoshield lint``'s
+byte-identical-exports guarantee relies on.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable
+
+
+class Counter:
+    """A monotonically increasing value (floats allowed)."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+#: Default histogram buckets: sub-millisecond to minutes (upper bounds).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram: per-bucket counts plus sum and count.
+
+    ``buckets`` are upper bounds; one overflow bucket (``+Inf``) is
+    appended automatically.  Buckets are fixed at creation so observing
+    is a single bisect — no dynamic resizing on the hot path.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "count", "total")
+    kind = "histogram"
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_dict(self) -> dict[str, int]:
+        labels = [repr(b) for b in self.buckets] + ["+Inf"]
+        return dict(zip(labels, self.bucket_counts))
+
+
+class NullInstrument:
+    """Shared do-nothing instrument returned by disabled registries.
+
+    Implements the union of the Counter/Gauge/Histogram interfaces so a
+    handle grabbed from a disabled registry can be called unconditionally.
+    """
+
+    __slots__ = ()
+    kind = "null"
+    value = 0.0
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_INSTRUMENT = NullInstrument()
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+def _render_key(name: str, labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{rendered}}}"
+
+
+class MetricsRegistry:
+    """Instrument factory and snapshot point for one telemetry scope."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: dict[tuple[str, tuple[tuple[str, str], ...]], object] = {}
+        self._wall_keys: set[tuple[str, tuple[tuple[str, str], ...]]] = set()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def _get(self, kind: str, name: str, wall: bool, labels: dict[str, object], **kwargs):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = _KINDS[kind](**kwargs)
+            self._instruments[key] = instrument
+            if wall:
+                self._wall_keys.add(key)
+        elif instrument.kind != kind:
+            raise ValueError(
+                f"metric {_render_key(*key)!r} already registered as "
+                f"{instrument.kind}, requested {kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, wall: bool = False, **labels) -> Counter:
+        """The counter registered under ``(name, labels)`` (created once)."""
+        return self._get("counter", name, wall, labels)
+
+    def gauge(self, name: str, wall: bool = False, **labels) -> Gauge:
+        """The gauge registered under ``(name, labels)``."""
+        return self._get("gauge", name, wall, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        wall: bool = False,
+        **labels,
+    ) -> Histogram:
+        """The fixed-bucket histogram registered under ``(name, labels)``."""
+        return self._get("histogram", name, wall, labels, buckets=buckets)
+
+    def value(self, name: str, **labels) -> float:
+        """Convenience read of a counter/gauge value (0.0 when absent)."""
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        instrument = self._instruments.get(key)
+        return getattr(instrument, "value", 0.0) if instrument is not None else 0.0
+
+    def snapshot(self, include_wall: bool = True) -> dict:
+        """Deterministic (sorted) JSON-able dump of every instrument.
+
+        ``include_wall=False`` drops instruments registered with
+        ``wall=True`` — the wall-clock-derived metrics that differ
+        between otherwise identical runs.
+        """
+        out: dict[str, dict] = {}
+        for key in sorted(self._instruments):
+            if not include_wall and key in self._wall_keys:
+                continue
+            instrument = self._instruments[key]
+            rendered = _render_key(*key)
+            if instrument.kind == "histogram":
+                out[rendered] = {
+                    "type": "histogram",
+                    "count": instrument.count,
+                    "total": instrument.total,
+                    "mean": instrument.mean,
+                    "buckets": instrument.bucket_dict(),
+                }
+            else:
+                out[rendered] = {"type": instrument.kind, "value": instrument.value}
+        return out
+
+    def format_text(self, include_wall: bool = True) -> str:
+        """The ``ddoshield metrics`` console rendering."""
+        lines = []
+        for rendered, payload in self.snapshot(include_wall=include_wall).items():
+            if payload["type"] == "histogram":
+                lines.append(
+                    f"{rendered}: n={payload['count']} mean={payload['mean']:.6g} "
+                    f"total={payload['total']:.6g}"
+                )
+            else:
+                lines.append(f"{rendered}: {payload['value']:.6g}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,195 @@
+"""Sim-time span tracing with Chrome ``trace_event`` export.
+
+A span records the *simulated* begin/end time of an operation (a TCP
+handshake, a capture phase, a pipeline stage) plus a monotonic wall-time
+cost estimate of what it cost the host to execute.  Sim times are
+deterministic for a seed; the wall estimate is telemetry about this
+machine and is isolated in a single ``wall_ms`` field that deterministic
+exports exclude.
+
+Spans export as Chrome ``trace_event`` complete events (``"ph": "X"``)
+— a plain JSON array loadable in ``chrome://tracing`` and Perfetto —
+with ``ts``/``dur`` in microseconds of simulated time.
+
+The wall-clock reads live only in this module, marked with explicit
+lint suppressions: they are the telemetry layer's cost estimator, not
+simulation state, and never feed back into the simulation.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One closed span: sim begin/end, wall cost, and free-form attrs."""
+
+    name: str
+    begin: float  # sim seconds
+    end: float  # sim seconds
+    wall_seconds: float
+    attrs: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def sim_duration(self) -> float:
+        return self.end - self.begin
+
+    def to_dict(self, include_wall: bool = True) -> dict:
+        payload: dict = {
+            "name": self.name,
+            "begin": self.begin,
+            "end": self.end,
+            "args": dict(self.attrs),
+        }
+        if include_wall:
+            payload["wall_ms"] = 1000.0 * self.wall_seconds
+        return payload
+
+
+class SpanHandle:
+    """An open span: context manager or explicit ``start()``/``finish()``.
+
+    Use as a context manager for synchronous work, or keep the handle
+    and call :meth:`finish` later for operations that complete in a
+    future event (e.g. a TCP handshake ending on SYN-ACK receipt).
+    """
+
+    __slots__ = ("_tracer", "name", "_attrs", "begin", "end", "wall_seconds", "_wall_begin", "_open")
+
+    def __init__(self, tracer: "SpanTracer", name: str, attrs: dict[str, object]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self._attrs = attrs
+        self.begin = 0.0
+        self.end = 0.0
+        self.wall_seconds = 0.0
+        self._wall_begin = 0.0
+        self._open = False
+
+    def set(self, key: str, value: object) -> None:
+        """Attach/overwrite an attribute while the span is open."""
+        self._attrs[key] = value
+
+    def start(self) -> "SpanHandle":
+        self.begin = self._tracer._now()
+        self._wall_begin = _time.perf_counter()  # repro: lint-ok[TIME001] -- telemetry wall-cost estimate, isolated from simulation state
+        self._open = True
+        return self
+
+    def finish(self) -> None:
+        """Close the span and record it (idempotent)."""
+        if not self._open:
+            return
+        self._open = False
+        self.wall_seconds = _time.perf_counter() - self._wall_begin  # repro: lint-ok[TIME001] -- telemetry wall-cost estimate, isolated from simulation state
+        self.end = self._tracer._now()
+        self._tracer.spans.append(
+            Span(
+                name=self.name,
+                begin=self.begin,
+                end=self.end,
+                wall_seconds=self.wall_seconds,
+                attrs=tuple(sorted(self._attrs.items(), key=lambda kv: kv[0])),
+            )
+        )
+
+    def __enter__(self) -> "SpanHandle":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        if exc and exc[0] is not None:
+            self._attrs.setdefault("error", getattr(exc[0], "__name__", str(exc[0])))
+        self.finish()
+
+
+class _NullSpan:
+    """Shared no-op span returned by disabled tracers."""
+
+    __slots__ = ()
+    name = ""
+    begin = 0.0
+    end = 0.0
+    wall_seconds = 0.0
+
+    def set(self, key: str, value: object) -> None:
+        pass
+
+    def start(self) -> "_NullSpan":
+        return self
+
+    def finish(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class SpanTracer:
+    """Produces spans against a pluggable simulated clock.
+
+    The clock is late-bound: a :class:`~repro.sim.core.Simulator`
+    created inside an enabled telemetry scope binds its virtual clock
+    automatically, so spans opened before any simulator exists read
+    sim-time 0.0.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self._clock = clock
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Point the tracer at a (new) source of simulated time."""
+        self._clock = clock
+
+    def _now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    def span(self, name: str, **attrs) -> SpanHandle | _NullSpan:
+        """An *unstarted* span handle (start via ``with`` or ``start()``)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return SpanHandle(self, name, attrs)
+
+    def to_dicts(self, include_wall: bool = True) -> list[dict]:
+        return [span.to_dict(include_wall=include_wall) for span in self.spans]
+
+
+def chrome_trace(spans: Iterable[Span | dict], include_wall: bool = True) -> list[dict]:
+    """Convert spans (objects or snapshot dicts) to Chrome trace events.
+
+    The result is a JSON array of complete events with the fields
+    ``chrome://tracing``/Perfetto require: ``ph``, ``ts``, ``dur``,
+    ``pid``, ``tid``, ``name``, ``cat``, ``args``.  ``ts``/``dur`` are
+    microseconds of *simulated* time; the per-span wall cost rides in
+    ``args.wall_ms`` unless ``include_wall=False``.
+    """
+    out: list[dict] = []
+    for span in spans:
+        if isinstance(span, Span):
+            span = span.to_dict(include_wall=True)
+        args = dict(span.get("args", {}))
+        if include_wall and "wall_ms" in span:
+            args["wall_ms"] = round(span["wall_ms"], 6)
+        out.append(
+            {
+                "ph": "X",
+                "ts": round(span["begin"] * 1e6, 3),
+                "dur": round((span["end"] - span["begin"]) * 1e6, 3),
+                "pid": 1,
+                "tid": 1,
+                "name": span["name"],
+                "cat": span["name"].split(".", 1)[0],
+                "args": args,
+            }
+        )
+    return out

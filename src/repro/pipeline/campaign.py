@@ -18,11 +18,11 @@ from __future__ import annotations
 
 import json
 import multiprocessing
-import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Sequence
 
+from repro import obs
 from repro.pipeline.stages import run_experiment_pipeline
 from repro.testbed.experiment import ExperimentResult, FaultExperimentResult
 from repro.testbed.scenario import Scenario
@@ -107,6 +107,10 @@ class RunRecord:
     fault_table: list[list] | None
     stage_cache: dict[str, dict]
     elapsed_seconds: float
+    #: The run's obs snapshot ({"metrics", "spans", "events"}).  Gated
+    #: under ``include_timing`` in :meth:`to_dict` because cached and
+    #: uncached repeats of the same run observe different telemetry.
+    telemetry: dict | None = None
 
     def to_dict(self, include_timing: bool = True) -> dict:
         payload = {
@@ -125,6 +129,7 @@ class RunRecord:
         if include_timing:
             payload["stage_cache"] = self.stage_cache
             payload["elapsed_seconds"] = self.elapsed_seconds
+            payload["telemetry"] = self.telemetry
         return payload
 
 
@@ -146,17 +151,21 @@ def execute_run(run: CampaignRun) -> RunRecord:
     shared content-addressed store; commits are atomic, so concurrent
     writers are safe.
     """
-    # Wall-clock by design: per-run elapsed time is campaign telemetry
-    # (how long the shard took on this host), not simulation state.
-    started = time.perf_counter()
-    result, outcome = run_experiment_pipeline(
-        scenario=run.scenario,
-        train_duration=run.train_duration,
-        detect_duration=run.detect_duration,
-        faults=run.faults,
-        store=run.cache_dir,
-    )
-    elapsed = time.perf_counter() - started
+    # Each run gets its own telemetry scope; the campaign.run span's
+    # wall cost is the shard's elapsed time on this host (what the two
+    # baselined perf_counter reads used to measure directly).
+    with obs.scope() as octx:
+        span = octx.tracer.span("campaign.run", label=run.label, seed=run.seed)
+        with span:
+            result, outcome = run_experiment_pipeline(
+                scenario=run.scenario,
+                train_duration=run.train_duration,
+                detect_duration=run.detect_duration,
+                faults=run.faults,
+                store=run.cache_dir,
+            )
+        elapsed = span.wall_seconds
+        telemetry = octx.snapshot()
     return RunRecord(
         label=run.label,
         seed=run.seed,
@@ -175,6 +184,7 @@ def execute_run(run: CampaignRun) -> RunRecord:
         ),
         stage_cache=outcome.cache_summary(),
         elapsed_seconds=elapsed,
+        telemetry=telemetry,
     )
 
 

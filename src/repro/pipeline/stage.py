@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
+from repro import obs
 from repro.pipeline.store import ArtifactStore, stage_key
 from repro.testbed.scenario import Scenario
 
@@ -209,23 +210,40 @@ class PipelineRunner:
                 values[name] = stage_by_name[name].load(entry)
             return values[name]
 
+        octx = obs.current()
+        tracer = octx.tracer
+        obs_hits = octx.registry.counter("pipeline.cache_hits")
+        obs_misses = octx.registry.counter("pipeline.cache_misses")
         for stage in self.stages:
             hit = cached[stage.name]
-            if stage.name not in must_run:
-                outcomes[stage.name] = StageOutcome(stage.name, keys[stage.name], hit, False)
-                continue
-            inputs = {dep: input_value(dep) for dep in stage.deps}
-            value = stage.run(ctx, inputs)
-            values[stage.name] = value
-            if self.store is not None and not hit:
-                staging = self.store.begin(keys[stage.name])
-                try:
-                    stage.save(value, staging)
-                except Exception:
-                    self.store.abort(staging)
-                    raise
-                self.store.commit(keys[stage.name], staging, meta={"stage": stage.name})
-            outcomes[stage.name] = StageOutcome(stage.name, keys[stage.name], hit, True)
+            (obs_hits if hit else obs_misses).inc()
+            # Every stage gets a span — cache hits included, so traces
+            # always show all five §IV-D stages with their outcome.
+            executed = stage.name in must_run
+            with tracer.span(
+                f"stage.{stage.name}", cache_hit=hit, executed=executed
+            ):
+                if not executed:
+                    outcomes[stage.name] = StageOutcome(
+                        stage.name, keys[stage.name], hit, False
+                    )
+                    continue
+                inputs = {dep: input_value(dep) for dep in stage.deps}
+                value = stage.run(ctx, inputs)
+                values[stage.name] = value
+                if self.store is not None and not hit:
+                    staging = self.store.begin(keys[stage.name])
+                    try:
+                        stage.save(value, staging)
+                    except Exception:
+                        self.store.abort(staging)
+                        raise
+                    self.store.commit(
+                        keys[stage.name], staging, meta={"stage": stage.name}
+                    )
+                outcomes[stage.name] = StageOutcome(
+                    stage.name, keys[stage.name], hit, True
+                )
         for finalizer in ctx.finalizers:
             finalizer()
         return PipelineResult(stage_by_name, keys, outcomes, values, self.store)

@@ -17,10 +17,12 @@ ever building a testbed — and a fully cached run executes nothing.
 from __future__ import annotations
 
 import json
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Sequence
 
+from repro import obs
 from repro.capture import TrafficDataset
 from repro.containers.orchestrator import SupervisorEvent
 from repro.faults import FaultEvent, FaultPlan
@@ -308,6 +310,7 @@ def run_experiment_pipeline(
     fault_plan: FaultPlan | None = None,
     faults: bool = False,
     store: ArtifactStore | str | Path | None = None,
+    telemetry: bool = False,
 ) -> tuple[ExperimentResult, PipelineResult]:
     """Run the staged §IV-D procedure and assemble the experiment result.
 
@@ -318,6 +321,12 @@ def run_experiment_pipeline(
     :class:`ArtifactStore` or a cache directory path) enables
     content-addressed caching; unchanged stages are served from disk
     without re-running the simulation.
+
+    ``telemetry=True`` runs the pipeline inside a fresh
+    :func:`repro.obs.scope` (unless one is already active, which is then
+    reused) and attaches the snapshot — metrics, spans, events — to
+    ``result.telemetry``.  Telemetry never participates in stage cache
+    keys: the same store serves runs with and without it.
     """
     scenario = scenario or Scenario()
     plan: FaultPlan | None = None
@@ -327,36 +336,42 @@ def run_experiment_pipeline(
             plan = scenario.default_fault_schedule(detect_duration)
     if store is not None and not isinstance(store, ArtifactStore):
         store = ArtifactStore(Path(store))
-    runner = PipelineRunner(
-        experiment_stages(
-            scenario, train_duration, detect_duration, specs=specs, detect_fault_plan=plan
-        ),
-        store=store,
-    )
-    outcome = runner.run(scenario)
-    train_art: CaptureArtifact = outcome.value("capture-train")
-    detect_art: CaptureArtifact = outcome.value("capture-detect")
-    common = dict(
-        scenario=scenario,
-        train_summary=train_art.dataset.summary(),
-        detect_summary=detect_art.dataset.summary(),
-        trained=outcome.value("train-models"),
-        detection=outcome.value("detect"),
-        infection_seconds=outcome.value("build")["infection_seconds"],
-    )
-    if not faults:
-        return ExperimentResult(**common), outcome
-    meta = detect_art.meta
-    result = FaultExperimentResult(
-        **common,
-        fault_plan=plan,
-        fault_events=[
-            FaultEvent(**{**event, "targets": tuple(event["targets"])})
-            for event in meta.get("fault_events", [])
-        ],
-        supervisor_events=[
-            SupervisorEvent(**event) for event in meta.get("supervisor_events", [])
-        ],
-        restarts=dict(meta.get("restarts", {})),
-    )
+    ambient = obs.current()
+    scope_cm = obs.scope() if telemetry and not ambient.enabled else nullcontext(ambient)
+    with scope_cm as octx:
+        runner = PipelineRunner(
+            experiment_stages(
+                scenario, train_duration, detect_duration, specs=specs, detect_fault_plan=plan
+            ),
+            store=store,
+        )
+        outcome = runner.run(scenario)
+        train_art: CaptureArtifact = outcome.value("capture-train")
+        detect_art: CaptureArtifact = outcome.value("capture-detect")
+        common = dict(
+            scenario=scenario,
+            train_summary=train_art.dataset.summary(),
+            detect_summary=detect_art.dataset.summary(),
+            trained=outcome.value("train-models"),
+            detection=outcome.value("detect"),
+            infection_seconds=outcome.value("build")["infection_seconds"],
+        )
+        if not faults:
+            result: ExperimentResult = ExperimentResult(**common)
+        else:
+            meta = detect_art.meta
+            result = FaultExperimentResult(
+                **common,
+                fault_plan=plan,
+                fault_events=[
+                    FaultEvent(**{**event, "targets": tuple(event["targets"])})
+                    for event in meta.get("fault_events", [])
+                ],
+                supervisor_events=[
+                    SupervisorEvent(**event) for event in meta.get("supervisor_events", [])
+                ],
+                restarts=dict(meta.get("restarts", {})),
+            )
+        if octx.enabled:
+            result.telemetry = octx.snapshot()
     return result, outcome

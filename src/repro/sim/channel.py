@@ -183,6 +183,7 @@ class CsmaNetDevice:
         self.channel = channel
         self.mac = mac
         self.queue = DropTailQueue(queue_capacity)
+        self.queue.bind_obs(f"txq:{mac}", lambda: channel.sim.now)
         self.node: "Node | None" = None
         self.promiscuous = False
         self.attached = False

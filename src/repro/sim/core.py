@@ -99,6 +99,7 @@ class Simulator:
         violation, ``"collect"`` records them on ``sanitizer.violations``,
         ``None`` (default) defers to the ``REPRO_SANITIZE`` env var."""
         from repro.analysis.sanitizers import make_sanitizer
+        from repro import obs
 
         self._now = 0.0
         self._heap: list[Event] = []
@@ -110,6 +111,16 @@ class Simulator:
         self._compactions = 0
         self.sanitizer: "Sanitizer | None" = make_sanitizer(sanitize)
         self._finalized = False
+        # Telemetry handles are grabbed once here; with the ambient
+        # context disabled they are shared null objects, so the run loop
+        # pays one no-op call per event.  Instrumentation never schedules
+        # events or consumes RNG — outcomes are identical either way.
+        ctx = obs.current()
+        self._obs_dispatched = ctx.registry.counter("sim.events_dispatched")
+        self._obs_heap_depth = ctx.registry.gauge("sim.heap_depth")
+        self._obs_compactions = ctx.registry.counter("sim.heap_compactions")
+        if ctx.enabled:
+            ctx.tracer.bind_clock(lambda: self._now)
 
     @property
     def now(self) -> float:
@@ -154,6 +165,8 @@ class Simulator:
             heapq.heapify(self._heap)
             self._cancelled_in_heap = 0
             self._compactions += 1
+            self._obs_compactions.inc()
+            self._obs_heap_depth.set(len(self._heap))
 
     def schedule(
         self,
@@ -182,6 +195,7 @@ class Simulator:
         event = Event(when, priority, next(self._seq), callback, args, _sim=self)
         event._in_heap = True
         heapq.heappush(self._heap, event)
+        self._obs_heap_depth.set(len(self._heap))
         return event
 
     def run(self, until: float | None = None) -> None:
@@ -210,6 +224,8 @@ class Simulator:
                     self.sanitizer.check_event(event, self._now)
                 self._now = event.time
                 self._events_executed += 1
+                self._obs_dispatched.inc()
+                self._obs_heap_depth.set(len(self._heap))
                 event.callback(*event.args)
             if until is not None and not self._stopped and self._now < until:
                 self._now = until

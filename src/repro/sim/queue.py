@@ -9,7 +9,9 @@ link.
 from __future__ import annotations
 
 from collections import deque
+from typing import Callable
 
+from repro import obs
 from repro.sim.packet import Packet
 
 
@@ -25,6 +27,24 @@ class DropTailQueue:
         self.dropped = 0
         self.dequeued = 0
         self.flushed = 0
+        # Telemetry stays no-op until bind_obs() — a bare queue (unit
+        # tests) registers nothing; owners label it once they know its
+        # name and clock.
+        self._obs_enqueued = obs.NULL_INSTRUMENT
+        self._obs_dropped = obs.NULL_INSTRUMENT
+        self._obs_flushed = obs.NULL_INSTRUMENT
+        self._obs_events = obs.current().events
+        self._obs_name = ""
+        self._obs_clock: Callable[[], float] | None = None
+
+    def bind_obs(self, name: str, clock: Callable[[], float]) -> None:
+        """Attach a queue name and sim clock for labeled, timestamped telemetry."""
+        ctx = obs.current()
+        self._obs_enqueued = ctx.registry.counter("queue.enqueued", queue=name)
+        self._obs_dropped = ctx.registry.counter("queue.dropped", queue=name)
+        self._obs_flushed = ctx.registry.counter("queue.flushed", queue=name)
+        self._obs_name = name
+        self._obs_clock = clock
 
     def __len__(self) -> int:
         return len(self._items)
@@ -41,9 +61,15 @@ class DropTailQueue:
         """Append ``packet``; return False (and count a drop) when full."""
         if self.is_full:
             self.dropped += 1
+            self._obs_dropped.inc()
+            if self._obs_events.enabled and self._obs_clock is not None:
+                self._obs_events.record(
+                    self._obs_clock(), "queue.drop", detail=self._obs_name
+                )
             return False
         self._items.append(packet)
         self.enqueued += 1
+        self._obs_enqueued.inc()
         return True
 
     def dequeue(self) -> Packet | None:
@@ -80,5 +106,6 @@ class DropTailQueue:
         ``enqueued == dequeued + flushed + len(queue)``
         (``dropped`` counts rejected arrivals, which were never enqueued).
         """
+        self._obs_flushed.inc(len(self._items))
         self.flushed += len(self._items)
         self._items.clear()

@@ -25,6 +25,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
+from repro import obs
 from repro.sim.address import Ipv4Address
 from repro.sim.core import Event, Simulator
 from repro.sim.packet import PROTO_TCP, Ipv4Header, Packet, Provenance, TcpFlags, TcpHeader
@@ -89,6 +90,7 @@ class TcpListener:
             return  # duplicate SYN; SYN-ACK already in flight
         if len(self.half_open) >= self.backlog:
             self.syn_dropped += 1
+            self.stack._obs_syn_dropped.inc()
             return  # backlog exhausted: the SYN-flood effect
         timeout = self.stack.sim.schedule(
             SYN_RCVD_TIMEOUT,
@@ -178,6 +180,7 @@ class TcpSocket:
         self._retries = 0
         self._rto = RTO_INITIAL
         self._fin_queued = False
+        self._handshake_span = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -199,6 +202,12 @@ class TcpSocket:
         self.snd_nxt = (isn + 1) & 0xFFFFFFFF
         self.state = TcpState.SYN_SENT
         self.stack.register(self)
+        self._handshake_span = self.stack._obs_tracer.span(
+            "tcp.handshake",
+            node=self.stack.node.name,
+            dst=str(remote),
+            dst_port=port,
+        ).start()
         self._send_flags(TcpFlags.SYN, seq=isn)
         self._arm_retx()
 
@@ -338,8 +347,11 @@ class TcpSocket:
             self._notify_reset()
             self._teardown()
             return
+        if self._rto < RTO_MAX:
+            self.stack._obs_backoff.inc()
         self._rto = min(self._rto * 2, RTO_MAX)
         self.retransmissions += 1
+        self.stack._obs_retx.inc()
         if self.state is TcpState.SYN_SENT:
             self._send_flags(TcpFlags.SYN, seq=(self.snd_una) & 0xFFFFFFFF)
         elif self._inflight:
@@ -366,6 +378,10 @@ class TcpSocket:
                 self.snd_una = tcp.ack
                 self.state = TcpState.ESTABLISHED
                 self._disarm_retx()
+                if self._handshake_span is not None:
+                    self._handshake_span.set("result", "established")
+                    self._handshake_span.finish()
+                    self._handshake_span = None
                 self._send_flags(TcpFlags.ACK)
                 if self.on_established is not None:
                     self.on_established(self)
@@ -435,6 +451,12 @@ class TcpSocket:
             self.on_reset(self)
 
     def _teardown(self) -> None:
+        if self._handshake_span is not None:
+            # The span is still open only when the handshake never
+            # completed (RST, SYN retry exhaustion).
+            self._handshake_span.set("result", "failed")
+            self._handshake_span.finish()
+            self._handshake_span = None
         self._disarm_retx()
         self.state = TcpState.CLOSED
         self._unsent.clear()
@@ -455,6 +477,11 @@ class TcpStack:
         self.rst_sent = 0
         self.payload_bytes_sent = 0  # monotone app-byte counter (goodput)
         self.default_provenance: Provenance | None = None
+        ctx = obs.current()
+        self._obs_tracer = ctx.tracer
+        self._obs_retx = ctx.registry.counter("tcp.retransmissions", node=node.name)
+        self._obs_backoff = ctx.registry.counter("tcp.rto_backoffs", node=node.name)
+        self._obs_syn_dropped = ctx.registry.counter("tcp.syn_dropped", node=node.name)
         if self.sim.sanitizer is not None:
             self.sim.sanitizer.register_tcp_stack(self)
 

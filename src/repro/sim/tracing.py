@@ -136,7 +136,15 @@ class PacketProbe:
 
 
 class PcapWriter:
-    """Writes frames to a libpcap file (nanosecond timestamps, Ethernet)."""
+    """Writes frames to a libpcap file (nanosecond timestamps, Ethernet).
+
+    Designed to survive an experiment dying mid-capture: each record
+    (header + frame bytes) is written in one ``write()`` call so a crash
+    cannot leave a record header without its data, :meth:`flush` pushes
+    buffered records to the OS so readers see everything captured so
+    far, and :meth:`close` is idempotent.  Use as a context manager —
+    the file is flushed and closed even when the body raises.
+    """
 
     def __init__(self, path: str | Path, snaplen: int = 65535) -> None:
         self.path = Path(path)
@@ -156,16 +164,31 @@ class PcapWriter:
         )
         self.packets_written = 0
 
+    @property
+    def closed(self) -> bool:
+        return self._fh.closed
+
     def write(self, packet: Packet, timestamp: float) -> None:
+        if self._fh.closed:
+            raise ValueError(f"write() on closed pcap {self.path}")
         data = packet.to_bytes()[: self.snaplen]
         seconds = int(timestamp)
         nanos = int(round((timestamp - seconds) * 1e9))
-        self._fh.write(struct.pack("<IIII", seconds, nanos, len(data), packet.size))
-        self._fh.write(data)
+        record = (
+            struct.pack("<IIII", seconds, nanos, len(data), packet.size) + data
+        )
+        self._fh.write(record)
         self.packets_written += 1
 
-    def close(self) -> None:
+    def flush(self) -> None:
+        """Push buffered records to the OS (a readable capture prefix)."""
         if not self._fh.closed:
+            self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and close (idempotent)."""
+        if not self._fh.closed:
+            self._fh.flush()
             self._fh.close()
 
     def __enter__(self) -> "PcapWriter":
@@ -196,5 +219,9 @@ class PcapReader:
                     return
                 seconds, frac, caplen, _origlen = struct.unpack("<IIII", record_header)
                 data = fh.read(caplen)
+                if len(data) < caplen:
+                    # Truncated trailing record (writer died mid-flush):
+                    # every complete record before it is still valid.
+                    return
                 scale = 1e-9 if nanos_resolution else 1e-6
                 yield seconds + frac * scale, Packet.from_bytes(data)

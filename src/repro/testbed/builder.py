@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import random
 
+from repro import obs
 from repro.apps import (
     DeviceProfile,
     DnsServer,
@@ -224,29 +225,52 @@ class Testbed:
         if not self._built:
             self.build()
         assert self.cnc is not None and self.tserver is not None
+        octx = obs.current()
         pcap = PcapWriter(pcap_path) if pcap_path else None
         probe = PacketProbe(pcap=pcap)
         self.lan.add_probe(probe)
         base = self.sim.now
-        plan = fault_plan if fault_plan is not None else self.scenario.fault_plan
-        if plan is not None:
-            self.apply_faults(plan, base=base)
-        for phase in attack_phases or []:
-            self.sim.schedule(
-                phase.start,
-                self.cnc.launch_attack,
-                phase.kind,
-                self.tserver.node.address,
-                phase.target_port,
-                phase.duration,
-                phase.pps_per_bot,
-            )
-        if self.scenario.churn_interval > 0:
-            self._schedule_churn(base + duration)
-        self.sim.run(until=base + duration)
-        self.lan.channel.remove_probe(probe)
-        if pcap is not None:
-            pcap.close()
+        span = octx.tracer.span(
+            "testbed.capture", duration=duration, phases=len(attack_phases or [])
+        )
+        # The probe and pcap must be torn down even when the run raises:
+        # an un-removed probe corrupts later captures on the same testbed,
+        # and an unclosed pcap silently loses its buffered tail.
+        try:
+            with span:
+                plan = fault_plan if fault_plan is not None else self.scenario.fault_plan
+                if plan is not None:
+                    self.apply_faults(plan, base=base)
+                for phase in attack_phases or []:
+                    self.sim.schedule(
+                        phase.start,
+                        self.cnc.launch_attack,
+                        phase.kind,
+                        self.tserver.node.address,
+                        phase.target_port,
+                        phase.duration,
+                        phase.pps_per_bot,
+                    )
+                    # Attack edges are recorded declaratively from the static
+                    # schedule — never via extra simulator events, so telemetry
+                    # on/off cannot perturb the run.
+                    octx.events.record(
+                        base + phase.start, "attack.start", detail=phase.kind
+                    )
+                    octx.events.record(
+                        base + phase.start + phase.duration,
+                        "attack.stop",
+                        detail=phase.kind,
+                    )
+                if self.scenario.churn_interval > 0:
+                    self._schedule_churn(base + duration)
+                self.sim.run(until=base + duration)
+                span.set("packets", probe.count)
+        finally:
+            self.lan.channel.remove_probe(probe)
+            if pcap is not None:
+                pcap.close()
+        self.orchestrator.sample_resources()
         if rebase_timestamps:
             return TrafficDataset([_rebase(r, base) for r in probe.records])
         return TrafficDataset(list(probe.records))

@@ -215,6 +215,10 @@ class ExperimentResult:
     trained: list[TrainedModel] = field(default_factory=list)
     detection: list[DetectionReport] = field(default_factory=list)
     infection_seconds: float = 0.0
+    #: Telemetry snapshot ({"metrics", "spans", "events"}) when the run
+    #: executed inside an enabled obs scope; None otherwise.  Never part
+    #: of pipeline cache keys.
+    telemetry: dict | None = None
 
     def table1(self) -> list[tuple[str, float]]:
         """(model, real-time mean accuracy %) rows."""
@@ -286,6 +290,7 @@ def run_fault_experiment(
     specs: Sequence[ModelSpec] | None = None,
     fault_plan: FaultPlan | None = None,
     store: "object | str | None" = None,
+    telemetry: bool = False,
 ) -> FaultExperimentResult:
     """§IV-D with an impaired detection run: train clean, detect under faults.
 
@@ -310,6 +315,7 @@ def run_fault_experiment(
         fault_plan=fault_plan,
         faults=True,
         store=store,
+        telemetry=telemetry,
     )
     assert isinstance(result, FaultExperimentResult)
     return result
@@ -321,6 +327,7 @@ def run_full_experiment(
     detect_duration: float = 30.0,
     specs: Sequence[ModelSpec] | None = None,
     store: "object | str | None" = None,
+    telemetry: bool = False,
 ) -> ExperimentResult:
     """The complete §IV-D procedure on one testbed instance.
 
@@ -340,5 +347,6 @@ def run_full_experiment(
         specs=specs,
         faults=False,
         store=store,
+        telemetry=telemetry,
     )
     return result

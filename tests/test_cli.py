@@ -32,6 +32,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["teardown"])
 
+    def test_timeline_defaults(self):
+        args = build_parser().parse_args(["timeline"])
+        assert args.devices == 6
+        assert args.bucket_seconds == 1.0
+        assert args.width == 40
+        assert args.csv is None and args.json is None and args.trace is None
+        assert args.faults is False
+
+    def test_metrics_options(self):
+        args = build_parser().parse_args(
+            ["metrics", "--devices", "2", "--no-wall", "--trace", "t.json"]
+        )
+        assert args.devices == 2
+        assert args.no_wall is True
+        assert args.trace == "t.json"
+
     def test_campaign_defaults(self):
         args = build_parser().parse_args(["campaign"])
         assert args.devices == "6"
@@ -94,6 +110,38 @@ class TestCommands:
         assert "Table I" in out
         assert "Table II" in out
         assert "RF" in out and "K-Means" in out and "CNN" in out
+
+    def test_timeline_renders_chart_and_exports(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        csv_path = tmp_path / "timeline.csv"
+        code = main(
+            ["timeline", "--devices", "2", "--seed", "5",
+             "--train-duration", "25", "--detect-duration", "12",
+             "--trace", str(trace_path), "--csv", str(csv_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "packets (peak" in out
+        assert "attack.start" in out
+        trace = json.loads(trace_path.read_text())
+        names = {event["name"] for event in trace}
+        for stage in ("build", "capture-train", "train-models",
+                      "capture-detect", "detect"):
+            assert f"stage.{stage}" in names
+        assert csv_path.read_text().startswith("second,")
+
+    def test_metrics_prints_registry_and_spans(self, capsys):
+        code = main(
+            ["metrics", "--devices", "2", "--seed", "5",
+             "--train-duration", "25", "--detect-duration", "12", "--no-wall"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sim.events_dispatched" in out
+        assert "spans:" in out
+        assert "stage.detect" in out
 
     def test_campaign_runs_and_resumes_from_cache(self, tmp_path, capsys):
         import json

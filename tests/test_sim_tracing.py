@@ -125,6 +125,47 @@ class TestPcap:
         with pytest.raises(ValueError):
             list(PcapReader(path))
 
+    def test_context_manager_closes_on_error(self, tmp_path):
+        path = tmp_path / "crash.pcap"
+        with pytest.raises(RuntimeError):
+            with PcapWriter(path) as writer:
+                writer.write(make_packet(), 1.0)
+                raise RuntimeError("experiment died mid-capture")
+        assert writer.closed
+        # Everything written before the crash is readable.
+        assert len(list(PcapReader(path))) == 1
+
+    def test_close_is_idempotent_and_blocks_writes(self, tmp_path):
+        writer = PcapWriter(tmp_path / "t.pcap")
+        writer.write(make_packet(), 0.5)
+        writer.close()
+        writer.close()
+        assert writer.closed
+        with pytest.raises(ValueError, match="closed"):
+            writer.write(make_packet(), 1.0)
+
+    def test_flush_makes_partial_capture_readable(self, tmp_path):
+        path = tmp_path / "partial.pcap"
+        writer = PcapWriter(path)
+        writer.write(make_packet(), 1.0)
+        writer.write(make_packet(), 2.0)
+        writer.flush()
+        # Read while the writer is still open — a monitoring tool's view.
+        assert [ts for ts, _ in PcapReader(path)] == pytest.approx([1.0, 2.0])
+        writer.close()
+        writer.flush()  # no-op after close
+
+    def test_reader_drops_truncated_trailing_record(self, tmp_path):
+        path = tmp_path / "torn.pcap"
+        with PcapWriter(path) as writer:
+            writer.write(make_packet(), 1.0)
+            writer.write(make_packet(), 2.0)
+        # Simulate a crash torn mid-record: cut the last record's data short.
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-7])
+        frames = list(PcapReader(path))
+        assert [ts for ts, _ in frames] == pytest.approx([1.0])
+
     @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=20))
     def test_property_timestamps_roundtrip(self, timestamps):
         import tempfile
