@@ -1,43 +1,37 @@
 """Close the loop: detect a live DDoS and mitigate it at the victim.
 
 Runs the same attack schedule twice against the TServer — undefended,
-then with the K-Means IDS feeding a blocklist + SYN rate-limit filter —
-and prints the victim's per-second health for both, showing goodput
-collapse and recovery.
+then with the full :class:`~repro.ids.MitigationPlan` loop (blocklist,
+SYN cookies, upstream filtering) driven by the K-Means IDS — and prints
+the victim's per-second health for both, showing goodput collapse and
+recovery.
 
     python examples/mitigation.py
 """
 
 import numpy as np
 
-from repro.ids import BlocklistFilter, MitigatingIds, RealTimeIds
+from repro.ids import MitigationPlan
 from repro.sim import PacketProbe
 from repro.testbed import Scenario, Testbed, attach_victim_monitor, train_models
 
 
-def run_phase(testbed, scenario, trained, defended: bool, seconds: float = 24.0):
+def run_phase(testbed, scenario, trained, plan=None, seconds: float = 24.0):
     monitor = attach_victim_monitor(testbed.tserver)
-    probe = None
-    filt = None
-    if defended:
-        km = next(t for t in trained if t.name == "K-Means")
-        filt = BlocklistFilter(
-            testbed.tserver.node, block_seconds=60.0,
-            syn_rate_limit=50.0, syn_burst=100.0,
-        ).install()
-        ids = RealTimeIds(km.model, "K-Means", extractor=km.extractor, scaler=km.scaler)
-        MitigatingIds(ids, filt)
-        probe = PacketProbe(keep_records=False)
-        probe.subscribe(ids.monitor._on_record)
-        testbed.lan.add_probe(probe)
-    start = testbed.sim.now
+    # A LAN-wide probe counting what the wire carries this phase; added
+    # and removed through the same CsmaLan surface.
+    probe = PacketProbe(keep_records=False)
+    testbed.lan.add_probe(probe)
+    controller = None
+    if plan is not None:
+        model = next(t for t in trained if t.name == plan.model)
+        testbed.install_mitigation(plan, model)
     testbed.capture(seconds, scenario.detection_schedule(seconds, pps_per_bot=80))
     monitor.stop()
-    if probe is not None:
-        testbed.lan.channel.remove_probe(probe)
-    if filt is not None:
-        filt.uninstall()
-    return monitor.series, start, filt
+    if plan is not None:
+        controller = testbed.uninstall_mitigation()
+    testbed.lan.remove_probe(probe)
+    return monitor.series, probe, controller
 
 
 def main() -> None:
@@ -47,21 +41,29 @@ def main() -> None:
     train = testbed.capture(40.0, scenario.training_schedule(40.0))
     trained = train_models(train, seed=scenario.seed)
 
-    open_series, open_start, _ = run_phase(testbed, scenario, trained, defended=False)
-    defended_series, defended_start, filt = run_phase(testbed, scenario, trained, defended=True)
+    plan = MitigationPlan(model="K-Means", block_seconds=60.0)
+    open_series, open_probe, _ = run_phase(testbed, scenario, trained)
+    defended_series, defended_probe, controller = run_phase(
+        testbed, scenario, trained, plan=plan
+    )
 
     print("victim receive rate per second (attack bursts at ~10-25%, 40-55%, 72-87%):")
     print(f"{'t':>4}{'undefended pps':>16}{'defended pps':>14}")
     for i, (a, b) in enumerate(zip(open_series.samples, defended_series.samples)):
         print(f"{i:>4}{a.rx_packets:>16.0f}{b.rx_packets:>14.0f}")
 
-    assert filt is not None
-    print(f"\nfilter: {filt.dropped_by_blocklist} dropped by blocklist, "
-          f"{filt.dropped_by_rate_limit} by SYN rate limit, "
-          f"{filt.active_blocks} sources still blocked")
-    mean_open = np.mean([s.rx_packets for s in open_series.samples])
-    mean_defended = np.mean([s.rx_packets for s in defended_series.samples])
-    print(f"mean rx: {mean_open:.0f} pps undefended vs {mean_defended:.0f} pps defended")
+    assert controller is not None
+    summary = controller.summary()
+    print(f"\ndefense: {summary['blocks_issued']} block(s) issued, "
+          f"{summary['dropped_by_blocklist']} dropped by blocklist, "
+          f"{summary['dropped_upstream']} dropped upstream, "
+          f"{summary['syn_cookies_sent']} SYN cookies sent")
+    print(f"wire saw {open_probe.count} frames undefended "
+          f"vs {defended_probe.count} defended")
+    mean_open = np.mean([s.goodput_bytes for s in open_series.samples])
+    mean_defended = np.mean([s.goodput_bytes for s in defended_series.samples])
+    print(f"mean goodput: {mean_open:.0f} B/s undefended "
+          f"vs {mean_defended:.0f} B/s defended")
 
 
 if __name__ == "__main__":

@@ -165,17 +165,21 @@ class Sanitizer:
             dequeued = getattr(channel, "frames_dequeued", None)
             if dequeued is None:
                 continue
-            accounted = channel.frames_delivered + channel.frames_impaired + in_flight
+            filtered = getattr(channel, "frames_filtered", 0)
+            accounted = (
+                channel.frames_delivered + channel.frames_impaired + filtered + in_flight
+            )
             if dequeued != accounted:
                 self.violation(
                     "channel-conservation",
                     f"channel {label} lost frames: dequeued != "
-                    "delivered + impaired + in-flight",
+                    "delivered + impaired + filtered + in-flight",
                     time=now,
                     channel=label,
                     dequeued=dequeued,
                     delivered=channel.frames_delivered,
                     impaired=channel.frames_impaired,
+                    filtered=filtered,
                     in_flight=in_flight,
                 )
             if in_flight < 0:

@@ -12,6 +12,12 @@ Four commands cover the testbed's day-to-day uses:
   staged pipeline, sharded across ``--jobs`` workers with a shared
   content-addressed artifact cache (``--cache-dir``; repeated runs
   resume from cache), printing per-scenario Table I/II aggregates;
+  crashed or timed-out runs are retried once and then recorded as
+  failed instead of aborting the sweep;
+* ``ddoshield mitigate`` — deploy the detect→mitigate→recover loop on
+  the detection run (optionally under the ``--chaos`` fault plan) and
+  print the mitigation event log, recovery metrics against an
+  undefended baseline, and the victim-goodput timeline;
 * ``ddoshield dataset`` — generate a labelled capture and export CSV
   (and optionally pcap);
 * ``ddoshield inventory`` — build the Figure 1 topology, run the Mirai
@@ -93,6 +99,87 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_mitigate(args: argparse.Namespace) -> int:
+    """Defended run (detect→mitigate→recover) vs an undefended baseline."""
+    from dataclasses import replace
+
+    from repro.ids.defense import MitigationPlan
+    from repro.obs import timeline_from_result
+    from repro.pipeline import run_experiment_pipeline
+    from repro.testbed import Scenario
+
+    plan = MitigationPlan(
+        model=args.model,
+        block_seconds=args.block_seconds,
+        upstream_filter=not args.no_upstream,
+        syn_cookies=not args.no_syn_cookies,
+    )
+    scenario = Scenario(n_devices=args.devices, seed=args.seed, mitigation_plan=plan)
+    fault_plan = scenario.chaos_fault_schedule(args.detect_duration) if args.chaos else None
+
+    def run(mode: str):
+        bound = replace(scenario, mitigation_plan=replace(plan, mode=mode))
+        result, _ = run_experiment_pipeline(
+            scenario=bound,
+            train_duration=args.train_duration,
+            detect_duration=args.detect_duration,
+            fault_plan=fault_plan,
+            faults=args.chaos,
+        )
+        return result
+
+    defended = run("mitigate")
+    baseline = None if args.no_baseline else run("monitor")
+
+    assert defended.mitigation is not None
+    summary = defended.mitigation["summary"]
+    if args.chaos:
+        print("chaos fault plan (aimed at the defense):")
+        for spec in fault_plan.specs:
+            print(f"  {spec.describe()}")
+        print()
+    print("mitigation events:")
+    for event in defended.mitigation["events"]:
+        detail = f" {event['detail']}" if event["detail"] else ""
+        print(f"  t={event['time']:9.3f}  {event['action']:<16}{detail}")
+    print(
+        f"\ndefense summary: {summary['blocks_issued']} block(s), "
+        f"{summary['unblocks']} unblock(s), {summary['fallback_entries']} fallback(s); "
+        f"dropped blocklist={summary['dropped_by_blocklist']} "
+        f"rate-limit={summary['dropped_by_rate_limit']} "
+        f"upstream={summary['dropped_upstream']}; "
+        f"SYN cookies sent={summary['syn_cookies_sent']} "
+        f"rejected={summary['syn_cookies_rejected']}"
+    )
+    print("\nrecovery — defended:")
+    for metric, value in defended.recovery_table():
+        print(f"  {metric}: {value}")
+    if baseline is not None:
+        print("\nrecovery — undefended baseline (monitor mode):")
+        for metric, value in baseline.recovery_table():
+            print(f"  {metric}: {value}")
+    print("\ndefended victim goodput (bytes/s):")
+    timeline = timeline_from_result(defended, bucket_seconds=args.bucket_seconds)
+    print(timeline.render_ascii(traffic="goodput", width=args.width))
+    if args.csv_dir:
+        out = Path(args.csv_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "defended.csv").write_text(timeline.to_csv())
+        print(f"\nwrote {out / 'defended.csv'}")
+        if baseline is not None:
+            base_tl = timeline_from_result(baseline, bucket_seconds=args.bucket_seconds)
+            (out / "undefended.csv").write_text(base_tl.to_csv())
+            print(f"wrote {out / 'undefended.csv'}")
+    retained = defended.recovery_metrics().goodput_retained_pct
+    if args.min_goodput_retained is not None and retained < args.min_goodput_retained:
+        print(
+            f"\ndefended goodput retained {retained:.1f}% below required "
+            f"{args.min_goodput_retained:.1f}%"
+        )
+        return 1
+    return 0
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     import json
 
@@ -115,7 +202,13 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         detect_duration=args.detect_duration,
         faults=args.faults,
     )
-    report = run_campaign(spec, jobs=args.jobs, cache_dir=args.cache_dir)
+    report = run_campaign(
+        spec,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        max_retries=args.max_retries,
+        run_timeout=args.run_timeout,
+    )
     print(report.format_text())
     if args.out:
         Path(args.out).write_text(report.to_json())
@@ -125,6 +218,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             f"cache hit rate {report.cache_hit_rate:.2f} below required "
             f"{args.min_cache_hit_rate:.2f}"
         )
+        return 1
+    if report.runs_failed and not args.allow_failures:
+        print(f"{report.runs_failed} run(s) failed")
         return 1
     return 0
 
@@ -346,7 +442,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero if the cache hit rate falls below this fraction "
              "(CI guard for resume-from-cache)",
     )
+    campaign.add_argument(
+        "--max-retries", type=int, default=1,
+        help="retries per crashed/timed-out run before recording it failed (default: 1)",
+    )
+    campaign.add_argument(
+        "--run-timeout", type=float, default=None,
+        help="wall-clock seconds per run attempt before it counts as crashed",
+    )
+    campaign.add_argument(
+        "--allow-failures", action="store_true",
+        help="exit zero even when some runs are recorded as failed",
+    )
     campaign.set_defaults(fn=cmd_campaign)
+
+    mitigate = sub.add_parser(
+        "mitigate",
+        help="run the detect→mitigate→recover loop and compare against an "
+             "undefended baseline",
+    )
+    _add_scenario_args(mitigate)
+    mitigate.add_argument("--train-duration", type=float, default=60.0)
+    mitigate.add_argument("--detect-duration", type=float, default=30.0)
+    mitigate.add_argument("--model", default="K-Means",
+                          help="IDS model driving mitigation (default: K-Means)")
+    mitigate.add_argument("--block-seconds", type=float, default=20.0,
+                          help="blocklist TTL in sim-seconds (default: 20)")
+    mitigate.add_argument("--no-upstream", action="store_true",
+                          help="disable the LAN-tier upstream filter escalation")
+    mitigate.add_argument("--no-syn-cookies", action="store_true",
+                          help="disable SYN-cookie handshake hardening")
+    mitigate.add_argument("--chaos", action="store_true",
+                          help="arm the chaos fault plan (IDS kill + link flaps) "
+                               "against the defended run")
+    mitigate.add_argument("--no-baseline", action="store_true",
+                          help="skip the undefended monitor-mode baseline run")
+    mitigate.add_argument("--bucket-seconds", type=float, default=1.0)
+    mitigate.add_argument("--width", type=int, default=40,
+                          help="goodput bar width in characters (default: 40)")
+    mitigate.add_argument("--csv-dir", default=None,
+                          help="write defended/undefended timeline CSVs here")
+    mitigate.add_argument(
+        "--min-goodput-retained", type=float, default=None,
+        help="exit non-zero if the defended run retains less goodput (%%) "
+             "under attack (CI recovery floor)",
+    )
+    mitigate.set_defaults(fn=cmd_mitigate)
 
     dataset = sub.add_parser("dataset", help="generate and export a labelled capture")
     _add_scenario_args(dataset)

@@ -120,6 +120,8 @@ class Orchestrator:
         self._supervised: dict[str, _Supervision] = {}
         self._rng = random.Random(seed)
         self.events: list[SupervisorEvent] = []
+        #: Callbacks invoked with every SupervisorEvent (mitigation fallback).
+        self.listeners: list = []
         ctx = obs.current()
         self._obs_events = ctx.events
         self._obs_registry = ctx.registry
@@ -295,10 +297,13 @@ class Orchestrator:
         return self.get(name).restart_count
 
     def _record(self, name: str, action: str, detail: str = "") -> None:
-        self.events.append(SupervisorEvent(self.sim.now, name, action, detail))
+        event = SupervisorEvent(self.sim.now, name, action, detail)
+        self.events.append(event)
         self._obs_events.record(self.sim.now, f"supervisor.{action}", detail=name)
         if action == "restart":
             self._obs_restarts.inc()
+        for listener in list(self.listeners):
+            listener(event)
 
     def sample_resources(self) -> None:
         """Publish each container's cgroup-style CPU/memory into telemetry.

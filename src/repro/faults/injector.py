@@ -92,6 +92,8 @@ class FaultInjector(ChannelImpairment):
         self.frames_corrupted = 0
         self.frames_delayed = 0
         self.extra_delay_total = 0.0
+        #: Callbacks invoked with every FaultEvent (mitigation fallback).
+        self.listeners: list = []
         self._obs_events = obs.current().events
         channel.set_fault_injector(self)
 
@@ -210,10 +212,11 @@ class FaultInjector(ChannelImpairment):
         return sum(len(devices) for devices in self._partitions.values())
 
     def _log(self, action: str, spec: FaultSpec, detail: str = "") -> None:
-        self.log.append(
-            FaultEvent(self.sim.now, action, spec.kind, spec.targets, detail)
-        )
+        event = FaultEvent(self.sim.now, action, spec.kind, spec.targets, detail)
+        self.log.append(event)
         self._obs_events.record(self.sim.now, f"fault.{action}", detail=spec.kind)
+        for listener in list(self.listeners):
+            listener(event)
 
     def detach(self) -> None:
         """Remove the injector from its channel (end of a fault phase)."""

@@ -8,7 +8,17 @@ the CPU, memory, and model-size sustainability metrics of Table II, and
 :mod:`repro.ids.report` holds the result dataclasses.
 """
 
-from repro.ids.defense import BlocklistFilter, MitigatingIds, TokenBucket
+from repro.ids.defense import (
+    BlocklistFilter,
+    MitigatingIds,
+    MitigationController,
+    MitigationEvent,
+    MitigationPlan,
+    RecoveryMetrics,
+    TokenBucket,
+    UpstreamFilter,
+    compute_recovery_metrics,
+)
 from repro.ids.engine import RealTimeIds
 from repro.ids.meter import IOT_CPU_SCALE, ResourceMeter, SustainabilityMetrics
 from repro.ids.monitor import TrafficMonitor
@@ -26,7 +36,13 @@ __all__ = [
     "STATUS_HEALTHY",
     "IOT_CPU_SCALE",
     "MitigatingIds",
+    "MitigationController",
+    "MitigationEvent",
+    "MitigationPlan",
     "RealTimeIds",
+    "RecoveryMetrics",
+    "UpstreamFilter",
+    "compute_recovery_metrics",
     "ResourceMeter",
     "SustainabilityMetrics",
     "TokenBucket",

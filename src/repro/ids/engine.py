@@ -79,12 +79,22 @@ class RealTimeIds:
         )
         self.report = DetectionReport(model_name)
         self.alerts: list[tuple[float, int]] = []  # (window start, n flagged)
+        self.window_listeners: list = []
         self.classifier_errors = 0
         self._last_index: int | None = None
         self._degraded_intervals: list[tuple[float, float]] = []
 
     # ------------------------------------------------------------------
     # Fault awareness
+
+    def add_window_listener(self, listener) -> None:
+        """Subscribe ``listener(index, records, predictions, status)``.
+
+        Called after every *scored* window (outage gap-fill windows carry
+        no records, hence no verdict to act on).  This is how mitigation
+        couples to detection without monkey-patching the window handler.
+        """
+        self.window_listeners.append(listener)
 
     def mark_degraded(self, start: float, stop: float) -> None:
         """Declare [start, stop) a fault interval (partition, restart).
@@ -169,6 +179,8 @@ class RealTimeIds:
                 status=status,
             )
         )
+        for listener in list(self.window_listeners):
+            listener(index, records, predictions, status)
 
     def process(
         self, records: Sequence[PacketRecord], until: float | None = None

@@ -26,7 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.ids.report import DetectionReport
 
 #: Event-kind prefixes surfaced as row markers in the ASCII chart.
-MARKER_PREFIXES = ("attack", "fault", "supervisor")
+MARKER_PREFIXES = ("attack", "fault", "supervisor", "mitigation")
 
 
 class RunTimeline:
@@ -218,6 +218,7 @@ def timeline_from_result(
         timeline.add_windows(reports[0])
         for report in reports[1:]:
             timeline.add_accuracy(report)
+    mitigation = getattr(result, "mitigation", None)
     if events is None:
         telemetry = getattr(result, "telemetry", None)
         if telemetry:
@@ -230,5 +231,36 @@ def timeline_from_result(
                 ObsEvent(e.time, f"supervisor.{e.action}", detail=e.container)
                 for e in getattr(result, "supervisor_events", [])
             ]
+            if mitigation:
+                # The obs snapshot already carries mitigation.* events;
+                # only the telemetry-off path needs the controller's log.
+                events = list(events) + [
+                    ObsEvent(
+                        e["time"], f"mitigation.{e['action']}",
+                        detail=e.get("detail", ""), value=e.get("value", 1.0),
+                    )
+                    for e in mitigation.get("events", [])
+                ]
     timeline.add_events(events)
+    if mitigation:
+        add_impact_series(timeline, mitigation.get("impact", []))
     return timeline
+
+
+def add_impact_series(timeline: RunTimeline, samples: Iterable[dict]) -> None:
+    """Join victim-impact samples into the timeline's recovery columns.
+
+    ``samples`` are :class:`~repro.testbed.impact.ImpactSample` dicts;
+    ``goodput`` and ``half_open`` are point-in-time, while the cumulative
+    ``accepted`` counter is differenced into per-bucket connection
+    completions (``conn.accepted``) so the column reads as a rate.
+    """
+    last_accepted: int | None = None
+    for sample in samples:
+        time = sample["time"]
+        timeline.add_value(time, "goodput", sample["goodput_bytes"], mode="set")
+        timeline.add_value(time, "half_open", sample["half_open"], mode="set")
+        accepted = sample.get("accepted", 0)
+        if last_accepted is not None:
+            timeline.add_value(time, "conn.accepted", accepted - last_accepted)
+        last_accepted = accepted

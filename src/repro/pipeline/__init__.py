@@ -15,6 +15,7 @@ from repro.pipeline.campaign import (
     CampaignSpec,
     RunRecord,
     execute_run,
+    execute_run_safe,
     expand_grid,
     run_campaign,
 )
@@ -30,6 +31,7 @@ from repro.pipeline.stages import (
     CaptureArtifact,
     CaptureStage,
     DetectStage,
+    MitigateStage,
     TrainModelsStage,
     experiment_stages,
     run_experiment_pipeline,
@@ -46,6 +48,7 @@ __all__ = [
     "CaptureArtifact",
     "CaptureStage",
     "DetectStage",
+    "MitigateStage",
     "PipelineContext",
     "PipelineResult",
     "PipelineRunner",
@@ -56,6 +59,7 @@ __all__ = [
     "TrainModelsStage",
     "canonical_json",
     "execute_run",
+    "execute_run_safe",
     "expand_grid",
     "experiment_stages",
     "run_campaign",

@@ -16,8 +16,10 @@ aside) is identical.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import multiprocessing
+import signal
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Sequence
@@ -111,6 +113,17 @@ class RunRecord:
     #: under ``include_timing`` in :meth:`to_dict` because cached and
     #: uncached repeats of the same run observe different telemetry.
     telemetry: dict | None = None
+    #: RecoveryMetrics dict when the scenario carried a MitigationPlan.
+    recovery: dict | None = None
+    #: Why the run failed (``"ExcType: message"``); None for successes.
+    error: str | None = None
+    #: Execution attempts (1 + retries).  Gated under ``include_timing``
+    #: because cached repeats succeed first try regardless of history.
+    attempts: int = 1
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
     def to_dict(self, include_timing: bool = True) -> dict:
         payload = {
@@ -125,11 +138,14 @@ class RunRecord:
             "table2": self.table2,
             "training_metrics": self.training_metrics,
             "fault_table": self.fault_table,
+            "recovery": self.recovery,
+            "error": self.error,
         }
         if include_timing:
             payload["stage_cache"] = self.stage_cache
             payload["elapsed_seconds"] = self.elapsed_seconds
             payload["telemetry"] = self.telemetry
+            payload["attempts"] = self.attempts
         return payload
 
 
@@ -185,7 +201,85 @@ def execute_run(run: CampaignRun) -> RunRecord:
         stage_cache=outcome.cache_summary(),
         elapsed_seconds=elapsed,
         telemetry=telemetry,
+        recovery=(result.mitigation or {}).get("recovery"),
     )
+
+
+class _RunTimeout(Exception):
+    """Raised inside a worker when a run exceeds its wall-clock budget."""
+
+
+@contextlib.contextmanager
+def _deadline(seconds: float | None):
+    """SIGALRM-based wall-clock budget for the current (worker) process.
+
+    No-ops when ``seconds`` is None or the platform lacks ``SIGALRM``
+    (Windows); workers are single-run-at-a-time, so claiming the ALRM
+    handler for the duration is safe.
+    """
+    if seconds is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise _RunTimeout(f"run exceeded {seconds:.0f}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _failed_record(run: CampaignRun, error: str, attempts: int) -> RunRecord:
+    """A tombstone record: the grid cell's slot, minus any tables."""
+    return RunRecord(
+        label=run.label,
+        seed=run.seed,
+        scenario=run.scenario.to_dict(),
+        faults=run.faults,
+        infection_seconds=0.0,
+        train_summary={},
+        detect_summary={},
+        table1=[],
+        table2=[],
+        training_metrics=[],
+        fault_table=None,
+        stage_cache={},
+        elapsed_seconds=0.0,
+        error=error,
+        attempts=attempts,
+    )
+
+
+def execute_run_safe(
+    run: CampaignRun, max_retries: int = 1, run_timeout: float | None = None
+) -> RunRecord:
+    """Crash-tolerant :func:`execute_run`: never raises, always records.
+
+    A worker exception (including a :class:`_RunTimeout` from the
+    ``run_timeout`` budget) is retried up to ``max_retries`` times; if
+    every attempt fails, the grid cell is filled with a failed
+    :class:`RunRecord` carrying the final error string — so one poisoned
+    run degrades the campaign's report instead of aborting the pool.
+    """
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            with _deadline(run_timeout):
+                record = execute_run(run)
+            record.attempts = attempts
+            return record
+        except Exception as exc:  # noqa: BLE001 — tombstone everything
+            if attempts > max_retries:
+                return _failed_record(
+                    run, f"{type(exc).__name__}: {exc}", attempts
+                )
 
 
 @dataclass
@@ -201,6 +295,8 @@ class CampaignReport:
         """Per scenario label, per model: mean/min/max accuracy across seeds."""
         grouped: dict[str, dict[str, list[float]]] = {}
         for record in self.records:
+            if record.failed:
+                continue
             models = grouped.setdefault(record.label, {})
             for model, accuracy in record.table1:
                 models.setdefault(model, []).append(accuracy)
@@ -221,6 +317,8 @@ class CampaignReport:
         """Per scenario label, per model: mean cpu/memory/model-size."""
         grouped: dict[str, dict[str, list[tuple[float, float, float]]]] = {}
         for record in self.records:
+            if record.failed:
+                continue
             models = grouped.setdefault(record.label, {})
             for model, cpu, memory, size in record.table2:
                 models.setdefault(model, []).append((cpu, memory, size))
@@ -235,6 +333,45 @@ class CampaignReport:
             }
             for label, models in grouped.items()
         }
+
+    def recovery_aggregate(self) -> dict[str, dict[str, float]]:
+        """Per scenario label: mean recovery metrics across defended seeds."""
+        grouped: dict[str, list[dict]] = {}
+        for record in self.records:
+            if record.recovery is not None:
+                grouped.setdefault(record.label, []).append(record.recovery)
+        keys = ("goodput_retained_pct", "time_to_mitigate", "collateral_block_rate")
+        return {
+            label: {
+                **{key: sum(r[key] for r in rows) / len(rows) for key in keys},
+                "n": float(len(rows)),
+            }
+            for label, rows in grouped.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Failure accounting
+
+    @property
+    def runs_failed(self) -> int:
+        return sum(1 for record in self.records if record.failed)
+
+    @property
+    def runs_retried(self) -> int:
+        return sum(1 for record in self.records if record.attempts > 1)
+
+    def failures(self) -> list[dict]:
+        """(label, seed, error, attempts) for every failed grid cell."""
+        return [
+            {
+                "label": record.label,
+                "seed": record.seed,
+                "error": record.error,
+                "attempts": record.attempts,
+            }
+            for record in self.records
+            if record.failed
+        ]
 
     # ------------------------------------------------------------------
     # Cache accounting
@@ -275,6 +412,10 @@ class CampaignReport:
             "table1_aggregate": self.table1_aggregate(),
             "table2_aggregate": self.table2_aggregate(),
         }
+        if any(record.recovery is not None for record in self.records):
+            payload["recovery_aggregate"] = self.recovery_aggregate()
+        if self.runs_failed:
+            payload["failures"] = self.failures()
         if include_timing:
             payload["cache"] = {
                 "stages_total": self.stages_total,
@@ -290,7 +431,15 @@ class CampaignReport:
     def format_text(self) -> str:
         """The ``ddoshield campaign`` console rendering."""
         lines = [f"campaign: {len(self.records)} run(s)"]
+        if self.runs_failed or self.runs_retried:
+            lines[0] += f" — {self.runs_failed} failed, {self.runs_retried} retried"
         for record in self.records:
+            if record.failed:
+                lines.append(
+                    f"  {record.label} seed={record.seed}: FAILED "
+                    f"({record.error}) after {record.attempts} attempt(s)"
+                )
+                continue
             cells = ", ".join(f"{model} {accuracy:.2f}%" for model, accuracy in record.table1)
             lines.append(
                 f"  {record.label} seed={record.seed}: {cells} "
@@ -310,6 +459,16 @@ class CampaignReport:
                     f"  {label} {model}: cpu={stats['cpu_percent']:.2f}% "
                     f"mem={stats['memory_kb']:.2f}Kb model={stats['model_size_kb']:.2f}Kb"
                 )
+        recovery = self.recovery_aggregate()
+        if recovery:
+            lines.append("\nRecovery aggregate — mitigation outcome (mean across seeds):")
+            for label, stats in sorted(recovery.items()):
+                lines.append(
+                    f"  {label}: goodput retained={stats['goodput_retained_pct']:.1f}% "
+                    f"time-to-mitigate={stats['time_to_mitigate']:.2f}s "
+                    f"collateral={stats['collateral_block_rate']:.2f} "
+                    f"(n={int(stats['n'])})"
+                )
         lines.append(
             f"\ncache: {self.cache_hits}/{self.stages_total} stage(s) served from cache "
             f"({100 * self.cache_hit_rate:.0f}%), {self.stages_executed} executed"
@@ -321,6 +480,8 @@ def run_campaign(
     spec: CampaignSpec,
     jobs: int = 1,
     cache_dir: str | Path | None = None,
+    max_retries: int = 1,
+    run_timeout: float | None = None,
 ) -> CampaignReport:
     """Execute the full grid and merge the records in grid order.
 
@@ -330,15 +491,21 @@ def run_campaign(
     runs at one shared content-addressed artifact store, enabling both
     cross-run reuse (shared stage prefixes within a campaign) and
     resume-from-cache on repeated invocations.
+
+    Execution is crash-tolerant: a run that raises (or exceeds
+    ``run_timeout`` wall-clock seconds) is retried up to ``max_retries``
+    times, then recorded as a failed :class:`RunRecord` — the campaign
+    always completes and the report names every casualty.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     runs = expand_grid(spec, cache_dir=cache_dir)
+    calls = [(run, max_retries, run_timeout) for run in runs]
     if jobs == 1 or len(runs) == 1:
-        records = [execute_run(run) for run in runs]
+        records = [execute_run_safe(*call) for call in calls]
     else:
         with multiprocessing.Pool(processes=min(jobs, len(runs))) as pool:
-            records = pool.map(execute_run, runs)
+            records = pool.starmap(execute_run_safe, calls)
     return CampaignReport(records=records)
 
 
@@ -364,4 +531,5 @@ def experiment_to_record(
         ),
         stage_cache=stage_cache or {},
         elapsed_seconds=0.0,
+        recovery=(result.mitigation or {}).get("recovery"),
     )

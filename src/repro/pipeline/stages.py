@@ -27,6 +27,7 @@ from repro.capture import TrafficDataset
 from repro.containers.orchestrator import SupervisorEvent
 from repro.faults import FaultEvent, FaultPlan
 from repro.features.pipeline import FeatureExtractor
+from repro.ids.defense import MitigationPlan, compute_recovery_metrics
 from repro.ids.report import DetectionReport
 from repro.ml.metrics import ClassificationReport
 from repro.ml.serialization import ModelBundle, load_model_bundle, save_model_bundle
@@ -46,6 +47,7 @@ from repro.testbed.experiment import (
     run_realtime_detection,
     train_models,
 )
+from repro.testbed.impact import attach_victim_monitor
 from repro.testbed.scenario import AttackPhase, Scenario
 
 #: Live-state resource name for the running testbed.
@@ -93,10 +95,16 @@ class BuildTestbedStage(Stage):
 
 @dataclass
 class CaptureArtifact:
-    """A labelled capture plus the capture-phase metadata detection needs."""
+    """A labelled capture plus the capture-phase metadata detection needs.
+
+    ``mitigation`` is populated only by :class:`MitigateStage`: the plan,
+    the controller's event log, victim impact samples, and the folded
+    :class:`~repro.ids.defense.RecoveryMetrics`.
+    """
 
     dataset: TrafficDataset
     meta: dict
+    mitigation: dict | None = None
 
 
 class CaptureStage(Stage):
@@ -161,12 +169,88 @@ class CaptureStage(Stage):
     def save(self, value: CaptureArtifact, directory: Path) -> None:
         value.dataset.save(directory / "capture.csv")
         (directory / "meta.json").write_text(json.dumps(value.meta, sort_keys=True))
+        if value.mitigation is not None:
+            (directory / "mitigation.json").write_text(
+                json.dumps(value.mitigation, sort_keys=True)
+            )
 
     def load(self, directory: Path) -> CaptureArtifact:
+        mitigation_path = directory / "mitigation.json"
         return CaptureArtifact(
             dataset=TrafficDataset.load(directory / "capture.csv"),
             meta=json.loads((directory / "meta.json").read_text()),
+            mitigation=(
+                json.loads(mitigation_path.read_text())
+                if mitigation_path.exists()
+                else None
+            ),
         )
+
+
+class MitigateStage(CaptureStage):
+    """A detect capture with the detect→mitigate→recover loop deployed.
+
+    Keeps the ``capture-detect`` stage name so the DAG shape (and the
+    downstream :class:`DetectStage`) is identical to an undefended run;
+    the :class:`~repro.ids.defense.MitigationPlan` enters the cache key
+    via :meth:`params`.  Needs ``train-models`` as an extra dep: the live
+    IDS runs the plan's trained model against the tap in real time.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        duration: float,
+        schedule: Sequence[AttackPhase],
+        deps: tuple[str, ...],
+        plan: MitigationPlan,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
+        super().__init__(name, duration, schedule, deps=deps, fault_plan=fault_plan)
+        self.plan = plan
+
+    def params(self) -> dict:
+        payload = super().params()
+        payload["mitigation_plan"] = self.plan.to_dict()
+        return payload
+
+    def run(self, ctx: PipelineContext, inputs: dict[str, Any]) -> CaptureArtifact:
+        testbed: Testbed = ctx.state[TESTBED_STATE]
+        trained: list[TrainedModel] = inputs["train-models"]
+        match = next((t for t in trained if t.name == self.plan.model), None)
+        if match is None:
+            names = ", ".join(t.name for t in trained)
+            raise ValueError(
+                f"mitigation plan wants model {self.plan.model!r}; trained: {names}"
+            )
+        controller = testbed.install_mitigation(self.plan, match)
+        monitor = attach_victim_monitor(testbed.tserver)
+        base = testbed.sim.now
+        try:
+            artifact = super().run(ctx, inputs)
+        finally:
+            monitor.stop()
+            testbed.uninstall_mitigation()
+        spans = [
+            (base + phase.start, base + phase.start + phase.duration)
+            for phase in self.schedule
+        ]
+        recovery = compute_recovery_metrics(
+            monitor.series,
+            controller.events,
+            spans,
+            malicious_srcs=controller.malicious_srcs,
+            blocked_srcs=controller.blocked_ever,
+        )
+        artifact.mitigation = {
+            "plan": self.plan.to_dict(),
+            "attack_spans": [[start, end] for start, end in spans],
+            "events": [event.to_dict() for event in controller.events],
+            "summary": controller.summary(),
+            "recovery": recovery.to_dict(),
+            "impact": [asdict(sample) for sample in monitor.series.samples],
+        }
+        return artifact
 
 
 class TrainModelsStage(Stage):
@@ -281,7 +365,29 @@ def experiment_stages(
     specs: Sequence[ModelSpec] | None = None,
     detect_fault_plan: FaultPlan | None = None,
 ) -> list[Stage]:
-    """The §IV-D stage DAG, in topological order."""
+    """The §IV-D stage DAG, in topological order.
+
+    When the scenario carries a :class:`MitigationPlan`, the detect
+    capture is a :class:`MitigateStage` (same name, same downstream
+    DAG) so defended runs stay five stages and cache-compatible.
+    """
+    if scenario.mitigation_plan is not None:
+        detect_capture: Stage = MitigateStage(
+            "capture-detect",
+            detect_duration,
+            scenario.detection_schedule(detect_duration),
+            deps=("build", "capture-train", "train-models"),
+            plan=scenario.mitigation_plan,
+            fault_plan=detect_fault_plan,
+        )
+    else:
+        detect_capture = CaptureStage(
+            "capture-detect",
+            detect_duration,
+            scenario.detection_schedule(detect_duration),
+            deps=("build", "capture-train"),
+            fault_plan=detect_fault_plan,
+        )
     return [
         BuildTestbedStage(),
         CaptureStage(
@@ -291,13 +397,7 @@ def experiment_stages(
             deps=("build",),
         ),
         TrainModelsStage(specs=specs),
-        CaptureStage(
-            "capture-detect",
-            detect_duration,
-            scenario.detection_schedule(detect_duration),
-            deps=("build", "capture-train"),
-            fault_plan=detect_fault_plan,
-        ),
+        detect_capture,
         DetectStage(),
     ]
 
@@ -372,6 +472,7 @@ def run_experiment_pipeline(
                 ],
                 restarts=dict(meta.get("restarts", {})),
             )
+        result.mitigation = detect_art.mitigation
         if octx.enabled:
             result.telemetry = octx.snapshot()
     return result, outcome

@@ -28,6 +28,20 @@ if TYPE_CHECKING:
 ProbeFn = Callable[[Packet, float], None]
 
 
+class TrafficFilter:
+    """Interface for a channel-tier ACL (upstream mitigation).
+
+    :meth:`should_drop` is consulted once per frame at dequeue time;
+    a filtered frame never occupies the medium — it died at the switch
+    port, before the bottleneck link.
+    """
+
+    def should_drop(
+        self, frame: Packet, sender: "CsmaNetDevice", now: float
+    ) -> bool:  # pragma: no cover - interface default
+        return False
+
+
 class ChannelImpairment:
     """Interface a fault injector implements to impair frames in flight.
 
@@ -57,13 +71,17 @@ class CsmaChannel:
         self.delay = parse_time(delay)
         self._devices: list[CsmaNetDevice] = []
         self._by_mac: dict[MacAddress, CsmaNetDevice] = {}
+        self._promiscuous: list[CsmaNetDevice] = []
         self._busy = False
         self._waiting: list[CsmaNetDevice] = []
         self._probes: list[ProbeFn] = []
         self.frames_delivered = 0
         #: Optional fault injector consulted per frame (repro.faults).
         self.fault_injector: "ChannelImpairment | None" = None
+        #: Optional channel-tier ACL (upstream mitigation filter).
+        self.traffic_filter: "TrafficFilter | None" = None
         self.frames_impaired = 0
+        self.frames_filtered = 0
         #: Conservation counters: every frame dequeued from a device queue
         #: is delivered, impaired, or still in flight (sanitizer invariant).
         self.frames_dequeued = 0
@@ -77,6 +95,7 @@ class CsmaChannel:
             self._devices.append(device)
         self._by_mac[device.mac] = device
         device.attached = True
+        self.update_promiscuous(device)
 
     def detach(self, device: "CsmaNetDevice") -> None:
         """Remove ``device`` (device churn: an IoT node leaving the LAN)."""
@@ -85,8 +104,24 @@ class CsmaChannel:
             self._by_mac.pop(device.mac, None)
         if device in self._waiting:
             self._waiting.remove(device)
+        if device in self._promiscuous:
+            self._promiscuous.remove(device)
         device.attached = False
         device.queue.clear()
+
+    def update_promiscuous(self, device: "CsmaNetDevice") -> None:
+        """Sync the promiscuous-delivery registry with ``device``'s flag.
+
+        Promiscuous attached devices see *every* delivered frame, not
+        just broadcasts — the switch-port mirror an IDS tap relies on.
+        Survives detach/re-attach cycles (container restarts) because
+        :meth:`attach` calls back into this.
+        """
+        listed = device in self._promiscuous
+        if device.promiscuous and device.attached and not listed:
+            self._promiscuous.append(device)
+        elif (not device.promiscuous or not device.attached) and listed:
+            self._promiscuous.remove(device)
 
     def add_probe(self, probe: ProbeFn) -> None:
         """Attach a promiscuous observer called once per delivered frame."""
@@ -122,6 +157,10 @@ class CsmaChannel:
         """Install (or clear) the per-frame impairment hook."""
         self.fault_injector = injector
 
+    def set_traffic_filter(self, filter_: "TrafficFilter | None") -> None:
+        """Install (or clear) the channel-tier ACL (upstream mitigation)."""
+        self.traffic_filter = filter_
+
     def _serve(self) -> None:
         if self._busy:
             return
@@ -130,8 +169,17 @@ class CsmaChannel:
             frame = device.queue.dequeue()
             if frame is None:
                 continue
-            self._busy = True
             self.frames_dequeued += 1
+            if self.traffic_filter is not None and self.traffic_filter.should_drop(
+                frame, device, self.sim.now
+            ):
+                # ACL drop at dequeue: the frame never occupies the wire,
+                # so the sender's remaining frames stay in contention.
+                self.frames_filtered += 1
+                if not device.queue.is_empty and device not in self._waiting:
+                    self._waiting.append(device)
+                continue
+            self._busy = True
             tx_time = self.transmission_time(frame.size)
             drop, extra_delay = False, 0.0
             if self.fault_injector is not None:
@@ -169,6 +217,9 @@ class CsmaChannel:
         target = self._by_mac.get(frame.eth.dst)
         if target is not None and target is not sender:
             target.receive(frame)
+        for device in list(self._promiscuous):
+            if device is not sender and device is not target:
+                device.receive(frame)
 
 
 class CsmaNetDevice:
@@ -197,6 +248,16 @@ class CsmaNetDevice:
     def add_rx_callback(self, callback: Callable[[Packet], None]) -> None:
         """Observe frames accepted by this device (after MAC filtering)."""
         self._rx_callbacks.append(callback)
+
+    def remove_rx_callback(self, callback: Callable[[Packet], None]) -> None:
+        """Detach a previously-registered observer (tap teardown)."""
+        if callback in self._rx_callbacks:
+            self._rx_callbacks.remove(callback)
+
+    def set_promiscuous(self, enabled: bool) -> None:
+        """Toggle promiscuous mode, keeping the channel registry in sync."""
+        self.promiscuous = enabled
+        self.channel.update_promiscuous(self)
 
     def send(self, packet: Packet, dst_mac: MacAddress) -> bool:
         """Frame ``packet`` and queue it for transmission.

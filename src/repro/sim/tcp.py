@@ -82,12 +82,65 @@ class TcpListener:
         self.half_open: dict[tuple[int, int], Event] = {}
         self.syn_dropped = 0
         self.accepted = 0
+        # SYN-cookie mode (mitigation): above a half-open watermark the
+        # listener answers SYNs statelessly with a cookie ISN instead of
+        # consuming backlog slots, so spoofed floods cannot exhaust it.
+        self.syn_cookies_enabled = False
+        self.syn_cookie_threshold = 1.0
+        self.syn_cookies_sent = 0
+        self.syn_cookies_accepted = 0
+        self.syn_cookies_rejected = 0
+        self._cookie_secret = 0
+
+    # ------------------------------------------------------------------
+    # SYN cookies
+
+    def enable_syn_cookies(self, threshold: float = 0.5, secret: int = 0) -> None:
+        """Handshake hardening: go stateless once the half-open table
+        reaches ``threshold × backlog`` entries."""
+        if not 0 < threshold <= 1:
+            raise ValueError("syn-cookie threshold must be in (0, 1]")
+        self.syn_cookies_enabled = True
+        self.syn_cookie_threshold = threshold
+        self._cookie_secret = secret & 0xFFFFFFFF
+
+    def disable_syn_cookies(self) -> None:
+        self.syn_cookies_enabled = False
+        self.syn_cookie_threshold = 1.0
+
+    @property
+    def _cookie_watermark(self) -> int:
+        return max(1, int(self.backlog * self.syn_cookie_threshold))
+
+    def _cookie_isn(self, src_ip: int, src_port: int) -> int:
+        """Deterministic per-peer cookie (an explicit integer mix — not
+        Python's salted ``hash()``, which would break reproducibility)."""
+        x = (src_ip & 0xFFFFFFFF) * 0x9E3779B1
+        x ^= (src_port * 0x85EBCA6B) ^ (self.port * 0xC2B2AE35) ^ self._cookie_secret
+        x = ((x ^ (x >> 15)) * 0x27D4EB2F) & 0xFFFFFFFFFFFFFFFF
+        x = (x ^ (x >> 13)) & 0xFFFFFFFF
+        return x or 1
 
     def handle_syn(self, packet: Packet) -> None:
         assert packet.ip is not None and packet.tcp is not None
         key = (packet.ip.src.value, packet.tcp.src_port)
         if key in self.half_open:
             return  # duplicate SYN; SYN-ACK already in flight
+        if self.syn_cookies_enabled and len(self.half_open) >= self._cookie_watermark:
+            # Stateless reply: no backlog entry, no timer.  The cookie is
+            # recoverable from the peer's ACK, so legitimate clients still
+            # complete while a spoofed flood burns no victim state.
+            self.syn_cookies_sent += 1
+            self.stack._obs_syn_cookies.inc()
+            self.stack.send_segment(
+                src_port=self.port,
+                dst=packet.ip.src,
+                dst_port=packet.tcp.src_port,
+                seq=self._cookie_isn(packet.ip.src.value, packet.tcp.src_port),
+                ack=(packet.tcp.seq + 1) & 0xFFFFFFFF,
+                flags=TcpFlags.SYN | TcpFlags.ACK,
+            )
+            return
         if len(self.half_open) >= self.backlog:
             self.syn_dropped += 1
             self.stack._obs_syn_dropped.inc()
@@ -117,9 +170,23 @@ class TcpListener:
         key = (packet.ip.src.value, packet.tcp.src_port)
         timeout = self.half_open.pop(key, None)
         if timeout is None:
-            return None
+            if not self.syn_cookies_enabled:
+                return None
+            # Stateless path: the ACK must echo cookie + 1 to prove the
+            # peer really completed our SYN-ACK exchange.
+            cookie = self._cookie_isn(packet.ip.src.value, packet.tcp.src_port)
+            if (packet.tcp.ack - 1) & 0xFFFFFFFF != cookie:
+                self.syn_cookies_rejected += 1
+                return None
+            self.syn_cookies_accepted += 1
+            return self._promote(packet, cookie)
         timeout.cancel()
         isn = getattr(self, "_isns", {}).pop(key, 0)
+        return self._promote(packet, isn)
+
+    def _promote(self, packet: Packet, isn: int) -> "TcpSocket":
+        """Build the established socket for a completed handshake."""
+        assert packet.ip is not None and packet.tcp is not None
         sock = TcpSocket(self.stack, local_port=self.port)
         sock.remote_address = packet.ip.src
         sock.remote_port = packet.tcp.src_port
@@ -482,6 +549,7 @@ class TcpStack:
         self._obs_retx = ctx.registry.counter("tcp.retransmissions", node=node.name)
         self._obs_backoff = ctx.registry.counter("tcp.rto_backoffs", node=node.name)
         self._obs_syn_dropped = ctx.registry.counter("tcp.syn_dropped", node=node.name)
+        self._obs_syn_cookies = ctx.registry.counter("tcp.syn_cookies", node=node.name)
         if self.sim.sanitizer is not None:
             self.sim.sanitizer.register_tcp_stack(self)
 

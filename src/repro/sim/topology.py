@@ -67,6 +67,10 @@ class CsmaLan:
         self.channel.add_probe(probe)
         return probe
 
+    def remove_probe(self, probe: PacketProbe) -> None:
+        """Detach a tap added with :meth:`add_probe` (symmetry restored)."""
+        self.channel.remove_probe(probe)
+
     def remove_host(self, node: Node) -> None:
         """Detach a node's devices from the LAN (device churn)."""
         for iface in node.interfaces:

@@ -22,11 +22,14 @@ from repro.testbed.experiment import (
     run_realtime_detection,
     train_models,
 )
+from repro.ids.defense import MitigationPlan, RecoveryMetrics
 from repro.testbed.scenario import AttackPhase, Scenario
 
 __all__ = [
     "AttackPhase",
     "ExperimentResult",
+    "MitigationPlan",
+    "RecoveryMetrics",
     "FaultExperimentResult",
     "ImpactSample",
     "ImpactSeries",

@@ -38,6 +38,13 @@ from repro.botnet.telnet import VulnerableTelnet
 from repro.capture import TrafficDataset
 from repro.containers import Container, Image, Orchestrator, RestartPolicy
 from repro.faults import FaultInjector, FaultPlan
+from repro.ids import RealTimeIds
+from repro.ids.defense import (
+    BlocklistFilter,
+    MitigationController,
+    MitigationPlan,
+    UpstreamFilter,
+)
 from repro.sim import CsmaLan, PacketProbe, Simulator
 from repro.sim.tracing import PcapWriter
 from repro.testbed.scenario import AttackPhase, Scenario
@@ -86,6 +93,10 @@ class Testbed:
         self._rng = random.Random(self.scenario.seed)
         self._built = False
         self._churn_offline: set[int] = set()
+        #: Fault-event callbacks copied onto every injector apply_faults arms.
+        self._fault_listeners: list = []
+        self.mitigation: MitigationController | None = None
+        self._mitigation_teardown: tuple | None = None
 
     # ------------------------------------------------------------------
     # Assembly
@@ -294,6 +305,7 @@ class Testbed:
         injector = FaultInjector(
             self.sim, self.lan.channel, seed=plan.seed + self.scenario.seed
         )
+        injector.listeners.extend(self._fault_listeners)
         injector.schedule_plan(plan, resolve_device=self._resolve_device, base=base)
         for spec in plan.kill_specs():
             for target in spec.targets:
@@ -315,6 +327,130 @@ class Testbed:
         if container is None or not container.node.interfaces:
             raise TestbedError(f"fault plan targets unknown container {name!r}")
         return container.node.interfaces[0].device
+
+    # ------------------------------------------------------------------
+    # Mitigation (the detect → mitigate → recover loop)
+
+    def ensure_ids_container(self) -> Container:
+        """Create the promiscuous IDS tap container on first use.
+
+        Lazy so undefended runs stay byte-identical to builds that
+        predate the mitigation subsystem: the extra node only joins the
+        LAN when a :class:`MitigationPlan` asks for it.
+        """
+        existing = self.orchestrator.containers.get("ids")
+        if existing is not None:
+            return existing
+        ids = self.orchestrator.run("ids", Image("ddoshield/ids"))
+        ids.node.interfaces[0].device.set_promiscuous(True)
+        return ids
+
+    def install_mitigation(self, plan: MitigationPlan, trained) -> MitigationController:
+        """Deploy the fault-tolerant detect→mitigate loop on this testbed.
+
+        ``trained`` is any object exposing ``model`` / ``name`` /
+        ``extractor`` / ``scaler`` (e.g. a
+        :class:`~repro.testbed.experiment.TrainedModel`).  In
+        ``mode="monitor"`` only the live IDS tap is deployed — the
+        measured undefended baseline.  Call :meth:`uninstall_mitigation`
+        when the defended phase ends.
+        """
+        if self.mitigation is not None:
+            raise TestbedError("mitigation already installed")
+        if not self._built:
+            self.build()
+        assert self.tserver is not None
+        ids_container = self.ensure_ids_container()
+        victim = self.tserver.node
+        live = RealTimeIds(
+            trained.model,
+            trained.name,
+            extractor=trained.extractor,
+            scaler=trained.scaler,
+            window_seconds=self.scenario.window_seconds,
+        )
+        filter_: BlocklistFilter | None = None
+        upstream: UpstreamFilter | None = None
+        cookie_ports: list[int] = []
+        if plan.mode == "mitigate":
+            filter_ = BlocklistFilter(
+                victim,
+                block_seconds=plan.block_seconds,
+                syn_rate_limit=plan.syn_rate_limit,
+                syn_burst=plan.syn_burst,
+            ).install()
+            if plan.syn_cookies:
+                for port in sorted(victim.tcp.listeners):
+                    victim.tcp.listeners[port].enable_syn_cookies(
+                        threshold=plan.syn_cookie_threshold,
+                        secret=self.scenario.seed * 7919 + port,
+                    )
+                    cookie_ports.append(port)
+            if plan.upstream_filter:
+                upstream = UpstreamFilter(victim_ip=victim.address.value)
+                self.lan.channel.set_traffic_filter(upstream)
+        controller = MitigationController(
+            plan=plan,
+            sim=self.sim,
+            victim=victim,
+            ids=live,
+            filter_=filter_,
+            upstream=upstream,
+            ids_container="ids",
+        )
+        # The live tap: the IDS container's promiscuous device feeds a
+        # record probe, which feeds the IDS monitor.  Kill/partition of
+        # the container detaches the device and blinds the tap — exactly
+        # the failure the fallback state machine covers.
+        tap = PacketProbe(keep_records=False)
+        live.monitor.attach(tap)
+        device = ids_container.node.interfaces[0].device
+
+        def tap_rx(frame) -> None:
+            tap(frame, self.sim.now)
+
+        device.add_rx_callback(tap_rx)
+        self.orchestrator.listeners.append(controller.on_supervisor_event)
+        self._fault_listeners.append(controller.on_fault_event)
+        if self.fault_injector is not None:
+            self.fault_injector.listeners.append(controller.on_fault_event)
+        self.mitigation = controller
+        self._mitigation_teardown = (device, tap_rx, cookie_ports, live)
+        return controller
+
+    def uninstall_mitigation(self) -> MitigationController | None:
+        """Tear the loop down, restoring the undefended configuration."""
+        controller = self.mitigation
+        if controller is None or self._mitigation_teardown is None:
+            return None
+        device, tap_rx, cookie_ports, live = self._mitigation_teardown
+        live.finish(until=self.sim.now)  # flush the final partial window
+        controller.finish()
+        if controller.filter is not None:
+            controller.filter.uninstall()
+        if (
+            controller.upstream is not None
+            and self.lan.channel.traffic_filter is controller.upstream
+        ):
+            self.lan.channel.set_traffic_filter(None)
+        assert self.tserver is not None
+        for port in cookie_ports:
+            listener = self.tserver.node.tcp.listeners.get(port)
+            if listener is not None:
+                listener.disable_syn_cookies()
+        device.remove_rx_callback(tap_rx)
+        if controller.on_supervisor_event in self.orchestrator.listeners:
+            self.orchestrator.listeners.remove(controller.on_supervisor_event)
+        if controller.on_fault_event in self._fault_listeners:
+            self._fault_listeners.remove(controller.on_fault_event)
+        if (
+            self.fault_injector is not None
+            and controller.on_fault_event in self.fault_injector.listeners
+        ):
+            self.fault_injector.listeners.remove(controller.on_fault_event)
+        self.mitigation = None
+        self._mitigation_teardown = None
+        return controller
 
     # ------------------------------------------------------------------
     # Churn

@@ -36,6 +36,7 @@ from repro.capture import DatasetSummary, TrafficDataset
 from repro.containers.orchestrator import SupervisorEvent
 from repro.faults import FaultEvent, FaultPlan
 from repro.features.pipeline import FeatureExtractor
+from repro.ids.defense import RecoveryMetrics
 from repro.ids.engine import RealTimeIds
 from repro.ids.report import DetectionReport
 from repro.ml import (
@@ -219,6 +220,9 @@ class ExperimentResult:
     #: executed inside an enabled obs scope; None otherwise.  Never part
     #: of pipeline cache keys.
     telemetry: dict | None = None
+    #: Mitigation payload (plan, events, impact samples, recovery) when
+    #: the scenario carried a MitigationPlan; None otherwise.
+    mitigation: dict | None = None
 
     def table1(self) -> list[tuple[str, float]]:
         """(model, real-time mean accuracy %) rows."""
@@ -259,6 +263,17 @@ class ExperimentResult:
             )
             for t in self.trained
         ]
+
+    def recovery_metrics(self) -> "RecoveryMetrics | None":
+        """The defended run's :class:`RecoveryMetrics` (None if undefended)."""
+        if self.mitigation is None:
+            return None
+        return RecoveryMetrics.from_dict(self.mitigation["recovery"])
+
+    def recovery_table(self) -> list[tuple[str, str]]:
+        """(metric, value) rows for the mitigation summary (Table I/II kin)."""
+        metrics = self.recovery_metrics()
+        return metrics.rows() if metrics is not None else []
 
 
 @dataclass

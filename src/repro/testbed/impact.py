@@ -28,6 +28,7 @@ class ImpactSample:
     syn_dropped: int  # cumulative SYNs dropped by the backlog
     rst_sent: int  # cumulative RSTs (ACK-flood response storm)
     udp_unreachable: int  # cumulative unanswerable datagrams
+    accepted: int = 0  # cumulative completed handshakes (conn success)
 
 
 @dataclass
@@ -113,6 +114,7 @@ class VictimMonitor(Process):
                 syn_dropped=listener.syn_dropped if listener else 0,
                 rst_sent=node.tcp.rst_sent,
                 udp_unreachable=node.udp.unreachable,
+                accepted=sum(l.accepted for l in node.tcp.listeners.values()),
             )
         )
         self._last_rx_packets = rx_packets

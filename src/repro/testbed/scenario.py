@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 
 from repro.faults.plan import FaultPlan, FaultSpec
+from repro.ids.defense import MitigationPlan
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,9 @@ class Scenario:
     # Fault injection: applied to every capture phase when set (capture()
     # also accepts a per-phase plan that overrides this).
     fault_plan: FaultPlan | None = None
+    # Mitigation: when set, the detect-phase pipeline deploys the
+    # detect→mitigate→recover loop (mode="monitor" measures undefended).
+    mitigation_plan: MitigationPlan | None = None
 
     def __post_init__(self) -> None:
         if self.n_devices < 1:
@@ -85,7 +89,7 @@ class Scenario:
         payload = {}
         for spec in fields(self):
             value = getattr(self, spec.name)
-            if spec.name == "fault_plan":
+            if spec.name in ("fault_plan", "mitigation_plan"):
                 value = value.to_dict() if value is not None else None
             payload[spec.name] = value
         return payload
@@ -106,6 +110,9 @@ class Scenario:
         plan = data.get("fault_plan")
         if plan is not None:
             data["fault_plan"] = FaultPlan.from_dict(plan)
+        mitigation = data.get("mitigation_plan")
+        if mitigation is not None:
+            data["mitigation_plan"] = MitigationPlan.from_dict(mitigation)
         return cls(**data)
 
     def training_schedule(self, duration: float = 60.0, pps_per_bot: float = 250.0) -> list[AttackPhase]:
@@ -172,6 +179,40 @@ class Scenario:
                 duration=max(2.0, round(duration * 0.10)),
                 targets=(victim,),
                 restart="on-failure",
+            ),
+            seed=self.seed,
+        )
+
+    def chaos_fault_schedule(self, duration: float = 30.0) -> FaultPlan:
+        """Faults aimed squarely at the *defense*, not just the fleet.
+
+        The mitigation chaos scenario: the IDS container is killed
+        mid-flood (supervised ``on-failure`` restart), the victim's link
+        flaps, and the IDS link is partitioned late in the run — every
+        trigger of the mitigation fallback state machine fires while
+        attacks are underway.  Only meaningful on runs with a
+        :class:`~repro.ids.defense.MitigationPlan` set (the ``ids``
+        container exists only then).
+        """
+        return FaultPlan.of(
+            FaultSpec(
+                kind="kill",
+                start=round(duration * 0.45),
+                duration=max(2.0, round(duration * 0.10)),
+                targets=("ids",),
+                restart="on-failure",
+            ),
+            FaultSpec(
+                kind="partition",
+                start=round(duration * 0.58),
+                duration=max(1.0, round(duration * 0.07)),
+                targets=("tserver",),
+            ),
+            FaultSpec(
+                kind="partition",
+                start=round(duration * 0.75),
+                duration=max(1.0, round(duration * 0.07)),
+                targets=("ids",),
             ),
             seed=self.seed,
         )

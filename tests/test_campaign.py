@@ -1,17 +1,37 @@
 """Campaign runner: grid expansion, aggregates, parallel + cached runs."""
 
+import time
+
 import pytest
 
+from repro.faults.plan import FaultPlan, FaultSpec
 from repro.pipeline import (
     CampaignReport,
     CampaignSpec,
     RunRecord,
+    execute_run_safe,
     expand_grid,
     run_campaign,
 )
+from repro.pipeline import campaign as campaign_mod
 from repro.testbed import Scenario
 
 TRAIN, DETECT = 20.0, 10.0
+
+
+def poisoned_scenario(n_devices=2):
+    """A scenario whose first capture deterministically raises.
+
+    The fault plan kills a container that does not exist, so
+    ``Testbed.apply_faults`` raises before any packets flow — the
+    cheapest reproducible way to poison one grid cell.
+    """
+    return Scenario(
+        n_devices=n_devices,
+        fault_plan=FaultPlan.of(
+            FaultSpec(kind="kill", start=1.0, duration=2.0, targets=("dev-99",))
+        ),
+    )
 
 
 class TestCampaignSpec:
@@ -144,6 +164,171 @@ class TestRunCampaign:
         assert "Table I aggregate" in text
         assert "Table II aggregate" in text
         assert "cache:" in text
+        assert "FAILED" not in text
         payload = report.to_dict()
         assert payload["cache"]["stages_total"] == 10
         assert len(payload["runs"]) == 2
+        assert "failures" not in payload
+
+
+class TestExecuteRunSafe:
+    def cell(self):
+        return expand_grid(
+            CampaignSpec(
+                scenarios=(Scenario(n_devices=2),),
+                seeds=(5,),
+                train_duration=TRAIN,
+                detect_duration=DETECT,
+            )
+        )[0]
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            execute_run_safe(self.cell(), max_retries=-1)
+
+    def test_transient_failure_is_retried(self, monkeypatch):
+        calls = []
+        real = campaign_mod.execute_run
+
+        def flaky(run):
+            calls.append(run)
+            if len(calls) == 1:
+                raise RuntimeError("transient worker crash")
+            return real(run)
+
+        monkeypatch.setattr(campaign_mod, "execute_run", flaky)
+        record = execute_run_safe(self.cell(), max_retries=1)
+        assert not record.failed
+        assert record.attempts == 2
+        assert record.table1
+
+    def test_exhausted_retries_yield_tombstone(self, monkeypatch):
+        def doomed(run):
+            raise RuntimeError("poisoned")
+
+        monkeypatch.setattr(campaign_mod, "execute_run", doomed)
+        record = execute_run_safe(self.cell(), max_retries=1)
+        assert record.failed
+        assert record.error == "RuntimeError: poisoned"
+        assert record.attempts == 2
+        assert record.table1 == [] and record.table2 == []
+        assert record.stage_cache == {}
+
+    def test_run_timeout_budget_enforced(self, monkeypatch):
+        def slow(run):
+            time.sleep(5.0)
+
+        monkeypatch.setattr(campaign_mod, "execute_run", slow)
+        start = time.monotonic()
+        record = execute_run_safe(self.cell(), max_retries=0, run_timeout=0.2)
+        assert time.monotonic() - start < 2.0
+        assert record.failed
+        assert "wall-clock" in record.error
+
+    def test_tombstone_serializes_without_timing(self, monkeypatch):
+        monkeypatch.setattr(
+            campaign_mod, "execute_run", lambda run: (_ for _ in ()).throw(OSError("x"))
+        )
+        record = execute_run_safe(self.cell(), max_retries=0)
+        payload = record.to_dict(include_timing=False)
+        assert payload["error"] == "OSError: x"
+        assert "attempts" not in payload  # timing-gated
+        assert record.to_dict()["attempts"] == 1
+
+
+class TestPoisonedCampaign:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return CampaignSpec(
+            scenarios=(Scenario(n_devices=2), poisoned_scenario()),
+            seeds=(5,),
+            train_duration=TRAIN,
+            detect_duration=DETECT,
+            labels=("good", "poisoned"),
+        )
+
+    @pytest.fixture(scope="class")
+    def outcome(self, spec, tmp_path_factory):
+        cache = tmp_path_factory.mktemp("poisoned-cache")
+        return run_campaign(spec, jobs=1, cache_dir=cache, max_retries=1), cache
+
+    def test_campaign_completes_with_one_failed_record(self, outcome):
+        report, _ = outcome
+        assert len(report.records) == 2
+        assert report.runs_failed == 1
+        good, bad = report.records
+        assert not good.failed and good.table1
+        assert bad.failed
+        assert "dev-99" in bad.error
+        assert bad.attempts == 2  # one bounded retry happened
+
+    def test_failures_surface_in_report(self, outcome):
+        report, _ = outcome
+        text = report.format_text()
+        assert "1 failed" in text
+        assert "FAILED" in text and "dev-99" in text
+        payload = report.to_dict()
+        assert payload["failures"] == [
+            {
+                "label": "poisoned",
+                "seed": 5,
+                "error": report.records[1].error,
+                "attempts": 2,
+            }
+        ]
+
+    def test_aggregates_skip_failed_cells(self, outcome):
+        report, _ = outcome
+        assert "poisoned" not in report.table1_aggregate()
+        assert report.table1_aggregate()["good"]
+
+    def test_cache_accounting_survives_rerun(self, spec, outcome):
+        report, cache = outcome
+        assert report.stages_total == 5  # the failed cell contributes none
+        again = run_campaign(spec, jobs=1, cache_dir=cache, max_retries=0)
+        assert again.runs_failed == 1
+        assert again.records[1].attempts == 1  # max_retries=0: no retry
+        assert again.cache_hits == again.stages_total == 5  # good cell warm
+        assert again.stages_executed == 0
+
+    def test_pool_workers_tolerate_poison(self, spec, outcome):
+        # Same grid through the multiprocessing path: tombstones must
+        # pickle back, and the good cell rides the warm cache.
+        _, cache = outcome
+        report = run_campaign(spec, jobs=2, cache_dir=cache, max_retries=0)
+        assert [record.failed for record in report.records] == [False, True]
+        assert "dev-99" in report.records[1].error
+
+
+class TestRecoveryAggregate:
+    def recovery(self, retained):
+        return {
+            "goodput_retained_pct": retained,
+            "time_to_mitigate": 1.0,
+            "time_to_recovery": 0.0,
+            "collateral_block_rate": 0.0,
+            "blocked_sources": 2,
+            "collateral_blocks": 0,
+            "baseline_goodput": 100.0,
+            "attack_goodput": retained,
+        }
+
+    def test_means_defended_runs_per_label(self):
+        a, b = record("d", 1, []), record("d", 2, [])
+        a.recovery = self.recovery(60.0)
+        b.recovery = self.recovery(80.0)
+        plain = record("u", 1, [])
+        report = CampaignReport(records=[a, b, plain])
+        agg = report.recovery_aggregate()
+        assert agg["d"]["goodput_retained_pct"] == 70.0
+        assert agg["d"]["n"] == 2.0
+        assert "u" not in agg
+        text = report.format_text()
+        assert "Recovery aggregate" in text
+        assert "goodput retained=70.0%" in text
+
+    def test_absent_when_no_defended_runs(self):
+        report = CampaignReport(records=[record("u", 1, [])])
+        assert report.recovery_aggregate() == {}
+        assert "Recovery aggregate" not in report.format_text()
+        assert "recovery_aggregate" not in report.to_dict()
