@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Benchmark the event kernel: scalar packets vs batched trains.
+
+Runs the same seeded SYN-flood scene at each node count twice — scalar
+per-packet emission and :class:`~repro.sim.packet.PacketBatch` trains —
+checks emission counts and per-window verdicts are identical, and writes
+the timings to ``BENCH_sim.json`` at the repo root.  ``--smoke`` caps
+the sweep at {16, 64} nodes for CI (seconds, exercises batching end to
+end); ``--assert-speedup X`` fails the run if the batched kernel is not
+at least ``X`` times the scalar packets/s at the largest node count.
+
+    PYTHONPATH=src python benchmarks/bench_sim.py
+    PYTHONPATH=src python benchmarks/bench_sim.py --smoke --assert-speedup 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.sim.bench import format_benchmark, run_sim_benchmark, write_benchmark
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, nargs="+", default=[16, 64, 256, 1024])
+    parser.add_argument("--pps", type=float, default=20000.0)
+    parser.add_argument("--duration", type=float, default=0.05)
+    parser.add_argument("--window-seconds", type=float, default=0.01)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--attack", default="syn", choices=["syn", "udp", "ack", "http"])
+    parser.add_argument(
+        "--segment-size",
+        type=int,
+        default=64,
+        help="devices per CSMA segment (0 = flat LAN, small node counts only)",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="cap the sweep at {16, 64} nodes for CI: fast, correctness-focused",
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless batch ≥ X× scalar packets/s at the largest node count",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.nodes = [n for n in args.nodes if n <= 64] or [16, 64]
+    result = run_sim_benchmark(
+        node_counts=args.nodes,
+        pps_per_node=args.pps,
+        duration=args.duration,
+        seed=args.seed,
+        attack=args.attack,
+        window_seconds=args.window_seconds,
+        devices_per_segment=args.segment_size,
+    )
+    result["smoke"] = args.smoke
+    path = write_benchmark(result, args.out)
+    print(format_benchmark(result))
+    print(f"wrote {path}")
+    if args.assert_speedup is not None:
+        top = result["runs"][-1]
+        speedup = top["speedup_packets_per_second"]
+        if speedup < args.assert_speedup:
+            print(
+                f"FAIL: batch kernel is {speedup:.2f}× scalar at "
+                f"{top['nodes']} nodes (required ≥ {args.assert_speedup}×)"
+            )
+            return 1
+        print(f"speedup check passed: {speedup:.2f}× ≥ {args.assert_speedup}×")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -88,9 +88,13 @@ class Sanitizer:
     _channels: list[tuple[str, "CsmaChannel"]] = field(default_factory=list)
     _tcp_stacks: list["TcpStack"] = field(default_factory=list)
     _accountants: list[tuple[str, "ResourceAccountant"]] = field(default_factory=list)
+    _simulators: list[tuple[str, Any]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Registration (called by components as the testbed is assembled)
+
+    def register_simulator(self, label: str, sim: Any) -> None:
+        self._simulators.append((label, sim))
 
     def register_queue(self, label: str, queue: "DropTailQueue") -> None:
         self._queues.append((label, queue))
@@ -147,6 +151,22 @@ class Sanitizer:
 
     def check_conservation(self, now: float) -> None:
         """Packet conservation per queue/channel + resource consistency."""
+        for label, sim in self._simulators:
+            # Kernel cancel-ledger exactness: the lazy-compaction counter
+            # must equal the number of cancelled events actually sitting in
+            # the heap, or COMPACT_FRACTION fires spurious sweeps (drifted
+            # high) / never fires (drifted low).
+            actual = sum(1 for ev in sim._heap if ev.cancelled)
+            if actual != sim._cancelled_in_heap:
+                self.violation(
+                    "kernel-ledger",
+                    f"simulator {label} cancel ledger drifted from the heap",
+                    time=now,
+                    simulator=label,
+                    ledger=sim._cancelled_in_heap,
+                    cancelled_in_heap=actual,
+                    heap_depth=len(sim._heap),
+                )
         for label, queue in self._queues:
             problem = queue.conservation_error()
             if problem is not None:

@@ -6,6 +6,14 @@ traffic volume.  Packet shapes follow Mirai's ``attack_tcp.c`` /
 ``attack_udp.c``: randomized ephemeral source ports, random sequence
 numbers, and (for the SYN flood) spoofed source addresses, which is why
 victims accumulate half-open connections they can never complete.
+
+Ticks are *anchored*: tick ``k`` fires at exactly ``t0 + k*TICK`` (via
+:meth:`~repro.sim.core.Simulator.schedule_periodic`) instead of the
+drift-accumulating ``now + TICK`` re-scheduling, so tick counts — and
+therefore per-seed packet counts — are identical whether the module
+emits scalar packets or :class:`~repro.sim.packet.PacketBatch` trains
+(``batch=True``).  Batch emission draws the per-packet randomness in the
+same order as the scalar loop, keeping same-seed runs equivalent.
 """
 
 from __future__ import annotations
@@ -13,13 +21,14 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.sim.address import Ipv4Address
-from repro.sim.core import Event
-from repro.sim.packet import Provenance, TcpFlags
+from repro.sim.packet import PacketBatch, Provenance, TcpFlags
 
 if TYPE_CHECKING:
+    from repro.sim.core import PeriodicEvent, Simulator
     from repro.sim.node import Node
-    from repro.sim.core import Simulator
 
 TICK = 0.01
 #: Spoofed-source pool for SYN floods (off-subnet, so SYN-ACKs die).
@@ -46,6 +55,7 @@ class AttackModule:
         pps: float,
         duration: float,
         seed: int = 0,
+        batch: bool = False,
     ) -> None:
         self.node = node
         self.sim = sim
@@ -53,11 +63,12 @@ class AttackModule:
         self.target_port = target_port
         self.pps = pps
         self.duration = duration
+        self.batch = batch
         self.rng = random.Random(seed)
         self.provenance = Provenance(origin="bot", malicious=True, attack=self.attack_name)
         self.packets_sent = 0
         self.active = False
-        self._tick_event: Event | None = None
+        self._ticker: "PeriodicEvent | None" = None
         self._end_time = 0.0
         self._carry = 0.0
 
@@ -66,14 +77,18 @@ class AttackModule:
         if self.active:
             return
         self.active = True
-        self._end_time = self.sim.now + self.duration
-        self._tick()
+        t0 = self.sim.now
+        self._end_time = t0 + self.duration
+        self._tick()  # tick 0 fires immediately at t0
+        if self.active:
+            # Ticks k >= 1 land on exact multiples of TICK past t0.
+            self._ticker = self.sim.schedule_periodic(TICK, self._tick, t0=t0)
 
     def stop(self) -> None:
         self.active = False
-        if self._tick_event is not None:
-            self._tick_event.cancel()
-            self._tick_event = None
+        if self._ticker is not None:
+            self._ticker.cancel()
+            self._ticker = None
 
     def _tick(self) -> None:
         if not self.active:
@@ -84,13 +99,25 @@ class AttackModule:
         budget = self.pps * TICK + self._carry
         count = int(budget)
         self._carry = budget - count
-        for _ in range(count):
-            self._send_one()
-            self.packets_sent += 1
-        self._tick_event = self.sim.schedule(TICK, self._tick)
+        if count:
+            if self.batch:
+                self._emit_batch(count)
+            else:
+                for _ in range(count):
+                    self._send_one()
+            self.packets_sent += count
 
     def _send_one(self) -> None:  # pragma: no cover - overridden
         raise NotImplementedError
+
+    def _emit_batch(self, count: int) -> None:
+        """Emit one tick's worth of packets as a train.
+
+        The default falls back to the scalar loop so custom subclasses
+        stay correct under ``batch=True`` until they vectorize.
+        """
+        for _ in range(count):
+            self._send_one()
 
 
 class SynFlood(AttackModule):
@@ -115,6 +142,32 @@ class SynFlood(AttackModule):
             flags=TcpFlags.SYN,
             provenance=self.provenance,
             src=self._spoofed_source() if self.spoof else None,
+        )
+
+    def _emit_batch(self, count: int) -> None:
+        rng = self.rng
+        lo, hi = SPORT_RANGE
+        sport = np.empty(count, dtype=np.int64)
+        seq = np.empty(count, dtype=np.int64)
+        src = np.empty(count, dtype=np.int64)
+        own = 0 if self.spoof else self.node.address.value
+        # Same per-packet draw order as _send_one: sport, seq, spoof.
+        for i in range(count):
+            sport[i] = rng.randrange(lo, hi)
+            seq[i] = rng.randrange(1 << 32)
+            src[i] = (SPOOF_BASE | rng.randrange(1, 1 << 16)) if self.spoof else own
+        self.node.tcp.send_segment_batch(
+            PacketBatch.tcp_batch(
+                count,
+                src_ip=src,
+                dst_ip=self.target.value,
+                src_port=sport,
+                dst_port=self.target_port,
+                seq=seq,
+                ack=0,
+                flags=TcpFlags.SYN,
+                provenance=self.provenance,
+            )
         )
 
 
@@ -144,6 +197,32 @@ class AckFlood(AttackModule):
             provenance=self.provenance,
         )
 
+    def _emit_batch(self, count: int) -> None:
+        rng = self.rng
+        lo, hi = SPORT_RANGE
+        sport = np.empty(count, dtype=np.int64)
+        seq = np.empty(count, dtype=np.int64)
+        ack = np.empty(count, dtype=np.int64)
+        # Same per-packet draw order as _send_one: sport, seq, ack.
+        for i in range(count):
+            sport[i] = rng.randrange(lo, hi)
+            seq[i] = rng.randrange(1 << 32)
+            ack[i] = rng.randrange(1 << 32)
+        self.node.tcp.send_segment_batch(
+            PacketBatch.tcp_batch(
+                count,
+                src_ip=self.node.address.value,
+                dst_ip=self.target.value,
+                src_port=sport,
+                dst_port=self.target_port,
+                seq=seq,
+                ack=ack,
+                flags=TcpFlags.ACK,
+                payload_len=self.payload_bytes,
+                provenance=self.provenance,
+            )
+        )
+
 
 class UdpFlood(AttackModule):
     """Generic UDP flood: fixed-size junk to randomized destination ports."""
@@ -167,6 +246,29 @@ class UdpFlood(AttackModule):
             provenance=self.provenance,
         )
 
+    def _emit_batch(self, count: int) -> None:
+        rng = self.rng
+        lo, hi = SPORT_RANGE
+        dport = np.empty(count, dtype=np.int64)
+        sport = np.empty(count, dtype=np.int64)
+        # Same per-packet draw order as _send_one: dport, then sport.
+        for i in range(count):
+            dport[i] = (
+                rng.randrange(1, 65536) if self.randomize_dport else self.target_port
+            )
+            sport[i] = rng.randrange(lo, hi)
+        self.node.udp.send_datagram_batch(
+            PacketBatch.udp_batch(
+                count,
+                src_ip=self.node.address.value,
+                dst_ip=self.target.value,
+                src_port=sport,
+                dst_port=dport,
+                payload_len=self.payload_bytes,
+                provenance=self.provenance,
+            )
+        )
+
 
 ATTACKS = {
     "syn": SynFlood,
@@ -187,6 +289,7 @@ def make_attack(
     pps: float,
     duration: float,
     seed: int = 0,
+    batch: bool = False,
 ) -> AttackModule:
     """Instantiate an attack module by its command name."""
     try:
@@ -195,4 +298,4 @@ def make_attack(
         raise ValueError(
             f"unknown attack {kind!r}; expected one of {sorted(set(ATTACKS))}"
         ) from None
-    return cls(node, sim, target, target_port, pps, duration, seed=seed)
+    return cls(node, sim, target, target_port, pps, duration, seed=seed, batch=batch)

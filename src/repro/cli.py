@@ -24,6 +24,9 @@ Four commands cover the testbed's day-to-day uses:
   lifecycle, and print the live component inventory;
 * ``ddoshield bench-features`` — time the vectorized feature pipeline
   against the legacy per-record path and write ``BENCH_features.json``;
+* ``ddoshield bench-sim`` — time the batched event kernel against
+  scalar per-packet dispatch across node counts, check scalar/batch
+  equivalence, and write ``BENCH_sim.json``;
 * ``ddoshield timeline`` — run one telemetry-enabled experiment and
   render the unified per-second run timeline (traffic bars, accuracy,
   attack/fault/queue-drop markers) as an ASCII chart, with optional
@@ -288,6 +291,24 @@ def cmd_bench_features(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_sim(args: argparse.Namespace) -> int:
+    from repro.sim.bench import format_benchmark, run_sim_benchmark, write_benchmark
+
+    result = run_sim_benchmark(
+        node_counts=tuple(args.nodes),
+        pps_per_node=args.pps,
+        duration=args.duration,
+        seed=args.seed,
+        attack=args.attack,
+        window_seconds=args.window_seconds,
+        devices_per_segment=args.segment_size,
+    )
+    print(format_benchmark(result))
+    if args.out:
+        print(f"wrote {write_benchmark(result, args.out)}")
+    return 0
+
+
 def _run_observed(args: argparse.Namespace):
     """Run one experiment inside an enabled telemetry scope.
 
@@ -510,6 +531,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=3)
     bench.add_argument("--out", default="BENCH_features.json")
     bench.set_defaults(fn=cmd_bench_features)
+
+    bench_sim = sub.add_parser(
+        "bench-sim", help="benchmark the batched event kernel against scalar dispatch"
+    )
+    bench_sim.add_argument("--nodes", type=int, nargs="+", default=[16, 64, 256, 1024])
+    bench_sim.add_argument("--pps", type=float, default=20000.0)
+    bench_sim.add_argument("--duration", type=float, default=0.05)
+    bench_sim.add_argument("--window-seconds", type=float, default=0.01)
+    bench_sim.add_argument("--seed", type=int, default=7)
+    bench_sim.add_argument(
+        "--attack", default="syn", choices=["syn", "udp", "ack", "http"]
+    )
+    bench_sim.add_argument("--segment-size", type=int, default=64,
+                           help="devices per CSMA segment (0 = flat LAN)")
+    bench_sim.add_argument("--out", default="BENCH_sim.json")
+    bench_sim.set_defaults(fn=cmd_bench_sim)
 
     def _add_observed_args(p: argparse.ArgumentParser) -> None:
         _add_scenario_args(p)

@@ -24,18 +24,14 @@ class TapBridge:
         self.ghost_nodes: list[Node] = []
 
     def create_ghost_node(self, name: str, queue_capacity: int = 512) -> Node:
-        """Create and attach the ghost node backing one container."""
-        node = Node(self.sim, name=f"ghost-{name}")
-        from repro.sim.node import connect_to_lan
+        """Create and attach the ghost node backing one container.
 
-        connect_to_lan(
-            node,
-            self.lan.channel,
-            self.lan.network,
-            self.lan.macs.allocate(),
-            queue_capacity=queue_capacity,
-        )
-        self.lan.nodes.append(node)
+        Placement goes through ``lan.attach`` so hierarchical topologies
+        (:class:`~repro.sim.topology.SegmentedLan`) can put the node on
+        the right segment; a flat :class:`CsmaLan` attaches it directly.
+        """
+        node = Node(self.sim, name=f"ghost-{name}")
+        self.lan.attach(node, queue_capacity=queue_capacity)
         self.ghost_nodes.append(node)
         return node
 

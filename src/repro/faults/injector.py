@@ -141,7 +141,10 @@ class FaultInjector(ChannelImpairment):
         severed: list[CsmaNetDevice] = []
         for device in devices:
             if device.attached:
-                self.channel.detach(device)  # flushes the TX queue (counted)
+                # Sever on the device's own channel: a named target may
+                # live on a leaf segment of a hierarchical topology, not
+                # on the injector's (backbone) channel.
+                device.channel.detach(device)  # flushes the TX queue (counted)
                 severed.append(device)
         self._partitions[id(spec)] = severed
         self._log("partition", spec, detail=f"severed={len(severed)}")
@@ -149,7 +152,7 @@ class FaultInjector(ChannelImpairment):
     def _end_partition(self, spec: FaultSpec) -> None:
         for device in self._partitions.pop(id(spec), []):
             if not device.attached:
-                self.channel.attach(device)
+                device.channel.attach(device)
         self._log("heal", spec)
 
     def _partition_targets(self, spec: FaultSpec) -> list[CsmaNetDevice]:

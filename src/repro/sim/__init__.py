@@ -25,13 +25,14 @@ from repro.sim.packet import (
     EthernetHeader,
     Ipv4Header,
     Packet,
+    PacketBatch,
     TcpFlags,
     TcpHeader,
     UdpHeader,
 )
 from repro.sim.queue import DropTailQueue
 from repro.sim.tcp import TcpSocket
-from repro.sim.topology import CsmaLan, Router, set_default_gateway
+from repro.sim.topology import CsmaLan, Router, SegmentedLan, set_default_gateway
 from repro.sim.tracing import PacketProbe, PacketRecord, PcapReader, PcapWriter
 from repro.sim.udp import UdpSocket
 
@@ -48,11 +49,13 @@ __all__ = [
     "MacAddress",
     "Node",
     "Packet",
+    "PacketBatch",
     "PacketProbe",
     "PacketRecord",
     "PcapReader",
     "PcapWriter",
     "Router",
+    "SegmentedLan",
     "Simulator",
     "TcpFlags",
     "TcpHeader",

@@ -4,16 +4,28 @@ A :class:`Node` is the simulation-side anchor that a container's tap
 bridge grafts onto (NS-3 calls these "ghost nodes").  It routes outbound
 packets to the right interface, resolves next-hop MACs through the
 channel, and demultiplexes inbound packets to its TCP and UDP stacks.
+
+Routing is longest-prefix over connected interfaces, then static routes
+(:meth:`Node.add_route` — how hosts on a hierarchical topology's backbone
+reach leaf segments behind routers), then the default gateway.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.sim.address import ANY_ADDRESS, Ipv4Address, Ipv4Network, MacAddress
 from repro.sim.channel import CsmaChannel, CsmaNetDevice
 from repro.sim.core import Simulator
-from repro.sim.packet import PROTO_TCP, PROTO_UDP, Packet
+from repro.sim.packet import (
+    PROTO_TCP,
+    PROTO_UDP,
+    UNRESOLVED_MARKER,
+    Packet,
+    PacketBatch,
+)
 
 
 class NetworkError(RuntimeError):
@@ -29,6 +41,14 @@ class Interface:
     network: Ipv4Network
 
 
+@dataclass(frozen=True)
+class StaticRoute:
+    """``network``-destined traffic goes via the ``via`` next hop."""
+
+    network: Ipv4Network
+    via: Ipv4Address
+
+
 class Node:
     """A simulated host with interfaces and TCP/UDP stacks."""
 
@@ -37,6 +57,7 @@ class Node:
         self.name = name
         self.interfaces: list[Interface] = []
         self.default_gateway: Ipv4Address | None = None
+        self.routes: list[StaticRoute] = []
         #: Routers forward packets not addressed to them between their
         #: interfaces (with TTL decrement); hosts silently drop them.
         self.is_router = False
@@ -69,7 +90,18 @@ class Node:
         device.node = self
         interface = Interface(device, address, network)
         self.interfaces.append(interface)
+        # The channel may have cached a negative resolution for this
+        # address before it existed.
+        device.channel.invalidate_resolve_cache()
         return interface
+
+    def add_route(self, network: Ipv4Network, via: Ipv4Address) -> None:
+        """Install a static route: ``network`` is reachable via ``via``.
+
+        ``via`` must itself be reachable through a connected interface.
+        """
+        self.routes.append(StaticRoute(network, via))
+        self.routes.sort(key=lambda r: -r.network.prefix_len)
 
     def owns_address(self, address: Ipv4Address) -> bool:
         """Whether any interface holds ``address`` (used for ARP-free resolve)."""
@@ -84,17 +116,30 @@ class Node:
 
     def interface_for(self, destination: Ipv4Address) -> Interface:
         """Pick the outbound interface for ``destination`` (longest match,
-        then default route via the first interface)."""
+        then static routes, then default route via the first interface)."""
+        return self.route_for(destination)[0]
+
+    def route_for(self, destination: Ipv4Address) -> tuple[Interface, Ipv4Address]:
+        """Resolve ``destination`` to ``(interface, next_hop)``."""
         best: Interface | None = None
         for iface in self.interfaces:
             if iface.network.contains(destination):
                 if best is None or iface.network.prefix_len > best.network.prefix_len:
                     best = iface
         if best is not None:
-            return best
+            return best, destination
+        for route in self.routes:  # kept sorted longest-prefix first
+            if route.network.contains(destination):
+                return self._interface_toward(route.via), route.via
         if self.default_gateway is not None and self.interfaces:
-            return self.interfaces[0]
+            return self.interfaces[0], self.default_gateway
         raise NetworkError(f"{self.name}: no route to {destination}")
+
+    def _interface_toward(self, next_hop: Ipv4Address) -> Interface:
+        for iface in self.interfaces:
+            if iface.network.contains(next_hop):
+                return iface
+        raise NetworkError(f"{self.name}: next hop {next_hop} is not on-link")
 
     # ------------------------------------------------------------------
     # Packet I/O
@@ -108,13 +153,10 @@ class Node:
         """
         assert packet.ip is not None
         try:
-            iface = self.interface_for(packet.ip.dst)
+            iface, next_hop = self.route_for(packet.ip.dst)
         except NetworkError:
             self.packets_unroutable += 1
             return False
-        next_hop = packet.ip.dst
-        if not iface.network.contains(next_hop) and self.default_gateway is not None:
-            next_hop = self.default_gateway
         if next_hop == iface.network.broadcast:
             from repro.sim.address import BROADCAST_MAC
 
@@ -133,6 +175,70 @@ class Node:
         self.packets_sent += 1
         return iface.device.send(packet, dst_mac)
 
+    def send_ipv4_batch(self, batch: PacketBatch) -> int:
+        """Route and transmit a whole batch; returns frames accepted.
+
+        The batch is partitioned by ``(interface, next_hop)`` — for flood
+        traffic every packet shares one destination, so the common case is
+        a single train.  Unroutable rows are counted and dropped exactly
+        as the scalar path does.
+        """
+        n = len(batch)
+        if n == 0:
+            return 0
+        groups = self._route_batch(batch)
+        accepted = 0
+        for sub, iface, next_hop in groups:
+            if iface is None:
+                self.packets_unroutable += len(sub)
+                continue
+            unresolved = False
+            if next_hop == iface.network.broadcast:
+                from repro.sim.address import BROADCAST_MAC
+
+                dst_mac: MacAddress | None = BROADCAST_MAC
+            else:
+                dst_mac = iface.device.channel.resolve(next_hop)
+            if dst_mac is None:
+                from repro.sim.address import BROADCAST_MAC
+
+                dst_mac = BROADCAST_MAC
+                unresolved = True
+            self.packets_sent += len(sub)
+            accepted += iface.device.send_batch(sub, dst_mac, unresolved=unresolved)
+        return accepted
+
+    def _route_batch(
+        self, batch: PacketBatch
+    ) -> list[tuple[PacketBatch, Interface | None, Ipv4Address]]:
+        """Partition a batch into per-``(iface, next_hop)`` sub-batches.
+
+        Fast path: a single-destination batch routes once.  Otherwise
+        destinations are grouped with ``np.unique`` and each unique
+        destination routed scalar-side (destination counts are small:
+        flood targets, not flood sources).
+        """
+        dst = batch.dst_ip
+        first = int(dst[0])
+        if bool((dst == first).all()):
+            try:
+                iface, next_hop = self.route_for(Ipv4Address(first))
+            except NetworkError:
+                return [(batch, None, Ipv4Address(first))]
+            return [(batch, iface, next_hop)]
+        groups: list[tuple[PacketBatch, Interface | None, Ipv4Address]] = []
+        uniques, inverse = np.unique(dst, return_inverse=True)
+        for u, value in enumerate(uniques.tolist()):
+            sub = batch.compress(inverse == u)
+            address = Ipv4Address(int(value))
+            try:
+                iface, next_hop = self.route_for(address)
+            except NetworkError:
+                groups.append((sub, None, address))
+                continue
+            groups.append((sub, iface, next_hop))
+        return groups
+
     def receive(self, frame: Packet, device: CsmaNetDevice) -> None:
         """Inbound frame from a device; demux to the transports.
 
@@ -140,7 +246,7 @@ class Node:
         """
         if frame.ip is None:
             return
-        if getattr(frame, "app_data", None) == "__unresolved__":
+        if getattr(frame, "app_data", None) == UNRESOLVED_MARKER:
             return
         dst = frame.ip.dst
         local = self.owns_address(dst)
@@ -157,6 +263,41 @@ class Node:
         elif frame.ip.protocol == PROTO_UDP and frame.udp is not None:
             self.udp.receive(frame)
 
+    def receive_batch(self, batch: PacketBatch, device: CsmaNetDevice) -> None:
+        """Inbound train from a device; demux or forward in bulk.
+
+        If something interposed on the scalar ``receive`` (a mitigation
+        filter monkeypatching this node) without also providing a batch
+        hook, fall back to per-packet delivery so the interposer keeps
+        seeing every frame.
+        """
+        if batch.unresolved or len(batch) == 0:
+            return
+        if "receive" in self.__dict__ and "receive_batch" not in self.__dict__:
+            for packet in batch.packets():
+                self.receive(packet, device)
+            return
+        dst = batch.dst_ip
+        local_values = [iface.address.value for iface in self.interfaces]
+        bcast_values = [iface.network.broadcast.value for iface in self.interfaces]
+        bcast_values.append(ANY_ADDRESS.value)
+        mine = np.isin(dst, local_values) | np.isin(dst, bcast_values)
+        if not mine.any():
+            if self.is_router:
+                self._forward_batch(batch)
+            return
+        if mine.all():
+            sub = batch
+        else:
+            if self.is_router:
+                self._forward_batch(batch.compress(~mine))
+            sub = batch.compress(mine)
+        self.packets_received += len(sub)
+        if batch.protocol == PROTO_TCP:
+            self.tcp.receive_batch(sub)
+        elif batch.protocol == PROTO_UDP:
+            self.udp.receive_batch(sub)
+
     def _forward(self, frame: Packet) -> None:
         """Route a transit packet out the next-hop interface."""
         assert frame.ip is not None
@@ -171,12 +312,20 @@ class Node:
         self.packets_forwarded += 1
         self.send_ipv4(decremented)
 
+    def _forward_batch(self, batch: PacketBatch) -> None:
+        """Route a transit train out the next-hop interface (TTL - 1)."""
+        if batch.ttl <= 1:
+            self.ttl_expired += len(batch)
+            return
+        self.packets_forwarded += len(batch)
+        self.send_ipv4_batch(batch.with_ttl(batch.ttl - 1))
+
 
 def _mark_unresolved(packet: Packet) -> Packet:
     """Tag a frame destined to a dead address so no stack consumes it."""
     from dataclasses import replace
 
-    return replace(packet, app_data="__unresolved__")
+    return replace(packet, app_data=UNRESOLVED_MARKER)
 
 
 def connect_to_lan(

@@ -4,15 +4,23 @@ CSMA devices enqueue frames while the channel is busy.  Under a DDoS
 flood the queue overflows and drops packets — the mechanism by which the
 simulated TServer's goodput collapses, exactly as on a real congested
 link.
+
+Capacity is counted in *packets*: a :class:`~repro.sim.packet.PacketBatch`
+of ``n`` frames occupies ``n`` slots, and a batch that only partially
+fits is split at the boundary (the head is accepted, the tail dropped)
+so batched and scalar floods see identical drop behaviour.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable
+from typing import Callable, Union
 
 from repro import obs
-from repro.sim.packet import Packet
+from repro.sim.packet import Packet, PacketBatch
+
+#: A queue entry: one packet, or a struct-of-arrays batch of packets.
+QueueUnit = Union[Packet, PacketBatch]
 
 
 class DropTailQueue:
@@ -22,7 +30,8 @@ class DropTailQueue:
         if capacity < 1:
             raise ValueError(f"queue capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self._items: deque[Packet] = deque()
+        self._items: deque[QueueUnit] = deque()
+        self._size = 0  # packets queued (batches count their length)
         self.enqueued = 0
         self.dropped = 0
         self.dequeued = 0
@@ -47,40 +56,102 @@ class DropTailQueue:
         self._obs_clock = clock
 
     def __len__(self) -> int:
-        return len(self._items)
+        return self._size
 
     @property
     def is_empty(self) -> bool:
-        return not self._items
+        return self._size == 0
 
     @property
     def is_full(self) -> bool:
-        return len(self._items) >= self.capacity
+        return self._size >= self.capacity
+
+    def _record_drop_event(self) -> None:
+        if self._obs_events.enabled and self._obs_clock is not None:
+            self._obs_events.record(
+                self._obs_clock(), "queue.drop", detail=self._obs_name
+            )
 
     def enqueue(self, packet: Packet) -> bool:
         """Append ``packet``; return False (and count a drop) when full."""
         if self.is_full:
             self.dropped += 1
             self._obs_dropped.inc()
-            if self._obs_events.enabled and self._obs_clock is not None:
-                self._obs_events.record(
-                    self._obs_clock(), "queue.drop", detail=self._obs_name
-                )
+            self._record_drop_event()
             return False
         self._items.append(packet)
+        self._size += 1
         self.enqueued += 1
         self._obs_enqueued.inc()
         return True
 
+    def enqueue_batch(self, batch: PacketBatch) -> int:
+        """Append as much of ``batch`` as fits; return the accepted count.
+
+        A batch that only partially fits is *split* at the free-slot
+        boundary — the head is accepted, the overflow dropped — matching
+        what the scalar path does packet by packet.
+        """
+        n = len(batch)
+        if n == 0:
+            return 0
+        free = self.capacity - self._size
+        if free <= 0:
+            self.dropped += n
+            self._obs_dropped.inc(n)
+            self._record_drop_event()
+            return 0
+        if n > free:
+            batch, _tail = batch.split(free)
+            self.dropped += n - free
+            self._obs_dropped.inc(n - free)
+            self._record_drop_event()
+            n = free
+        self._items.append(batch)
+        self._size += n
+        self.enqueued += n
+        self._obs_enqueued.inc(n)
+        return n
+
     def dequeue(self) -> Packet | None:
-        """Pop the oldest packet, or None when empty."""
+        """Pop the oldest *packet*, splitting it off a head batch if needed."""
+        unit = self.dequeue_unit(allow_batch=False)
+        assert unit is None or isinstance(unit, Packet)
+        return unit
+
+    def dequeue_unit(self, allow_batch: bool = True) -> QueueUnit | None:
+        """Pop the oldest unit (packet, or whole batch when allowed).
+
+        With ``allow_batch=False`` a head batch yields exactly one
+        materialised packet and the remainder stays queued — the scalar
+        fallback used when fault injectors or legacy filters need
+        per-frame treatment.
+        """
         if not self._items:
             return None
+        head = self._items[0]
+        if isinstance(head, Packet):
+            self._items.popleft()
+            self._size -= 1
+            self.dequeued += 1
+            return head
+        if allow_batch:
+            self._items.popleft()
+            n = len(head)
+            self._size -= n
+            self.dequeued += n
+            return head
+        packet = head.packet(0)
+        if len(head) == 1:
+            self._items.popleft()
+        else:
+            self._items[0] = head.slice(1)
+        self._size -= 1
         self.dequeued += 1
-        return self._items.popleft()
+        return packet
 
-    def peek(self) -> Packet | None:
-        """Look at the oldest packet without removing it."""
+    def peek(self) -> QueueUnit | None:
+        """Look at the oldest unit without removing it."""
         return self._items[0] if self._items else None
 
     def conservation_error(self) -> str | None:
@@ -88,15 +159,22 @@ class DropTailQueue:
 
         The invariant (checked by the runtime sanitizers): every packet
         ever accepted is either dequeued, flushed, or still queued —
-        ``enqueued == dequeued + flushed + len(queue)``.
+        ``enqueued == dequeued + flushed + len(queue)``.  Batches count
+        as their packet lengths throughout.
         """
-        accounted = self.dequeued + self.flushed + len(self._items)
-        if self.enqueued == accounted:
-            return None
-        return (
-            f"enqueued={self.enqueued} != dequeued={self.dequeued} + "
-            f"flushed={self.flushed} + backlog={len(self._items)}"
+        actual = sum(
+            len(unit) if isinstance(unit, PacketBatch) else 1
+            for unit in self._items
         )
+        accounted = self.dequeued + self.flushed + actual
+        if self.enqueued != accounted:
+            return (
+                f"enqueued={self.enqueued} != dequeued={self.dequeued} + "
+                f"flushed={self.flushed} + backlog={actual}"
+            )
+        if actual != self._size:
+            return f"cached size {self._size} != live backlog {actual}"
+        return None
 
     def clear(self) -> None:
         """Discard all queued packets, accounting them as flushed.
@@ -106,6 +184,7 @@ class DropTailQueue:
         ``enqueued == dequeued + flushed + len(queue)``
         (``dropped`` counts rejected arrivals, which were never enqueued).
         """
-        self._obs_flushed.inc(len(self._items))
-        self.flushed += len(self._items)
+        self._obs_flushed.inc(self._size)
+        self.flushed += self._size
         self._items.clear()
+        self._size = 0

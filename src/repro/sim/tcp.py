@@ -25,10 +25,20 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
+import numpy as np
+
 from repro import obs
 from repro.sim.address import Ipv4Address
 from repro.sim.core import Event, Simulator
-from repro.sim.packet import PROTO_TCP, Ipv4Header, Packet, Provenance, TcpFlags, TcpHeader
+from repro.sim.packet import (
+    PROTO_TCP,
+    Ipv4Header,
+    Packet,
+    PacketBatch,
+    Provenance,
+    TcpFlags,
+    TcpHeader,
+)
 
 if TYPE_CHECKING:
     from repro.sim.node import Node
@@ -183,6 +193,95 @@ class TcpListener:
         timeout.cancel()
         isn = getattr(self, "_isns", {}).pop(key, 0)
         return self._promote(packet, isn)
+
+    def handle_syn_batch(
+        self,
+        src_ip: np.ndarray,
+        src_port: np.ndarray,
+        seq: np.ndarray,
+    ) -> None:
+        """Process a SYN train against the backlog, scalar-equivalently.
+
+        Packets are consumed in order with the exact per-packet semantics
+        of :meth:`handle_syn` (duplicate suppression, cookie watermark,
+        ISN draws and timers in arrival order) until the backlog fills;
+        from there no state can change within the train — cookies are off
+        whenever backlog-full is reachable — so the saturated tail is
+        counted vectorized.  SYN-ACK replies accumulate into one response
+        batch.
+        """
+        n = int(src_ip.shape[0])
+        src_ip_list = src_ip.tolist()
+        src_port_list = src_port.tolist()
+        seq_list = seq.tolist()
+        resp_dst: list[int] = []
+        resp_dport: list[int] = []
+        resp_seq: list[int] = []
+        resp_ack: list[int] = []
+        self._isns = getattr(self, "_isns", {})
+        i = 0
+        while i < n:
+            sip = src_ip_list[i]
+            sport = src_port_list[i]
+            key = (sip, sport)
+            if key in self.half_open:
+                i += 1
+                continue  # duplicate SYN; SYN-ACK already in flight
+            if (
+                self.syn_cookies_enabled
+                and len(self.half_open) >= self._cookie_watermark
+            ):
+                self.syn_cookies_sent += 1
+                self.stack._obs_syn_cookies.inc()
+                resp_dst.append(sip)
+                resp_dport.append(sport)
+                resp_seq.append(self._cookie_isn(sip, sport))
+                resp_ack.append((seq_list[i] + 1) & 0xFFFFFFFF)
+                i += 1
+                continue
+            if len(self.half_open) >= self.backlog:
+                break  # saturated; the rest of the train counts vectorized
+            timeout = self.stack.sim.schedule(
+                SYN_RCVD_TIMEOUT,
+                self._expire,
+                key,
+                priority=Simulator.PRIORITY_TIMER,
+            )
+            self.half_open[key] = timeout
+            isn = self.stack.initial_sequence()
+            self._isns[key] = isn
+            resp_dst.append(sip)
+            resp_dport.append(sport)
+            resp_seq.append(isn)
+            resp_ack.append((seq_list[i] + 1) & 0xFFFFFFFF)
+            i += 1
+        if i < n:
+            tail_keys = (src_ip[i:] << np.int64(16)) | src_port[i:]
+            if self.half_open:
+                known = np.fromiter(
+                    ((k_ip << 16) | k_port for k_ip, k_port in self.half_open),
+                    dtype=np.int64,
+                    count=len(self.half_open),
+                )
+                dropped = int((~np.isin(tail_keys, known)).sum())
+            else:
+                dropped = n - i
+            self.syn_dropped += dropped
+            self.stack._obs_syn_dropped.inc(dropped)
+        if resp_dst:
+            self.stack.send_segment_batch(
+                PacketBatch.tcp_batch(
+                    len(resp_dst),
+                    src_ip=self.stack.node.address.value,
+                    dst_ip=np.asarray(resp_dst, dtype=np.int64),
+                    src_port=self.port,
+                    dst_port=np.asarray(resp_dport, dtype=np.int64),
+                    seq=np.asarray(resp_seq, dtype=np.int64),
+                    ack=np.asarray(resp_ack, dtype=np.int64),
+                    flags=TcpFlags.SYN | TcpFlags.ACK,
+                    provenance=self.stack.default_provenance or Provenance(),
+                )
+            )
 
     def _promote(self, packet: Packet, isn: int) -> "TcpSocket":
         """Build the established socket for a completed handshake."""
@@ -642,6 +741,100 @@ class TcpStack:
             ack=(tcp.seq + packet.data_len) & 0xFFFFFFFF,
             flags=TcpFlags.RST | TcpFlags.ACK,
         )
+
+    def receive_batch(self, batch: PacketBatch) -> None:
+        """Demultiplex a train with scalar-identical per-packet semantics.
+
+        The fast path needs a uniform ``(dst_ip, dst_port)`` — true for
+        any flood train.  Frames matching an established socket (possible
+        only for non-spoofed sources) are materialised and handled one by
+        one; listener SYN/ACK trains take the batched backlog paths; the
+        remainder draws one batched RST storm, exactly the segments the
+        scalar kernel would emit.
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        dst0 = int(batch.dst_ip[0])
+        port0 = int(batch.dst_port[0])
+        if not (
+            bool((batch.dst_ip == dst0).all())
+            and bool((batch.dst_port == port0).all())
+        ):
+            for packet in batch.packets():
+                self.receive(packet)
+            return
+        flags = batch.flags
+        unhandled = np.ones(n, dtype=bool)
+        if self.sockets:
+            remote_keys = [
+                (key[2] << 16) | key[3]
+                for key in self.sockets
+                if key[0] == dst0 and key[1] == port0
+            ]
+            if remote_keys:
+                encoded = (batch.src_ip << np.int64(16)) | batch.src_port
+                hits = np.isin(encoded, np.asarray(remote_keys, dtype=np.int64))
+                if hits.any():
+                    for i in np.flatnonzero(hits).tolist():
+                        self.receive(batch.packet(i))
+                    unhandled &= ~hits
+        if not unhandled.any():
+            return
+        listener = self.listeners.get(port0)
+        is_syn = bool(flags & TcpFlags.SYN) and not flags & TcpFlags.ACK
+        is_ack = bool(flags & TcpFlags.ACK) and not flags & TcpFlags.SYN
+        idx = np.flatnonzero(unhandled)
+        if listener is not None:
+            if is_syn:
+                listener.handle_syn_batch(
+                    batch.src_ip[idx], batch.src_port[idx], batch.seq[idx]
+                )
+                return
+            if is_ack and (listener.half_open or listener.syn_cookies_enabled):
+                leftover = [
+                    i
+                    for i in idx.tolist()
+                    if listener.handle_ack(batch.packet(i)) is None
+                ]
+                idx = np.asarray(leftover, dtype=np.int64)
+        if flags & TcpFlags.RST or len(idx) == 0:
+            return  # never answer a RST with a RST
+        # Unknown 4-tuples: answer with one RST train, as a real host
+        # would packet by packet — what makes ACK floods draw a storm.
+        self.rst_sent += len(idx)
+        self.send_segment_batch(
+            PacketBatch.tcp_batch(
+                len(idx),
+                src_ip=self.node.address.value,
+                dst_ip=batch.src_ip[idx],
+                src_port=port0,
+                dst_port=batch.src_port[idx],
+                seq=batch.ack[idx] if batch.ack is not None else 0,
+                ack=(
+                    (batch.seq[idx] + batch.payload_len[idx]) & np.int64(0xFFFFFFFF)
+                    if batch.seq is not None
+                    else batch.payload_len[idx] & np.int64(0xFFFFFFFF)
+                ),
+                flags=TcpFlags.RST | TcpFlags.ACK,
+                provenance=self.default_provenance or Provenance(),
+            )
+        )
+
+    def send_segment_batch(self, batch: PacketBatch) -> int:
+        """Route a pre-built TCP train; returns frames accepted.
+
+        Goodput accounting mirrors the scalar path: accepted frames add
+        their payload lengths (queues accept batch prefixes, so the head
+        sum is exact for single-destination trains).
+        """
+        accepted = self.node.send_ipv4_batch(batch)
+        if accepted:
+            if accepted == len(batch):
+                self.payload_bytes_sent += int(batch.payload_len.sum())
+            else:
+                self.payload_bytes_sent += int(batch.payload_len[:accepted].sum())
+        return accepted
 
     def send_segment(
         self,

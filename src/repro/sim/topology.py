@@ -126,3 +126,171 @@ def set_default_gateway(lan: CsmaLan, router: Router) -> None:
     for node in lan.nodes:
         if node is not router.node:
             node.default_gateway = gateway
+
+
+class SegmentedLan:
+    """A hierarchical topology: leaf CSMA segments routed to a backbone.
+
+    Urban-scale deployments do not put thousands of devices on one
+    collision domain — they sit behind access gateways.  Here device
+    nodes (names matching ``leaf_prefix``, with the tap bridge's
+    ``ghost-`` prefix ignored) are packed ``devices_per_segment`` to a
+    leaf :class:`CsmaLan`, each leaf joined to the backbone by a
+    :class:`Router`; servers, the attacker, and the IDS tap stay on the
+    backbone segment.  Routing is complete: leaf hosts default-route to
+    their gateway, every backbone resident (hosts *and* other gateways)
+    gets a static route to each leaf subnet, so leaf↔backbone and
+    leaf↔leaf flows both work.
+
+    The class mirrors :class:`CsmaLan`'s surface (``channel``,
+    ``attach``, ``add_host``, ``add_probe``, ``remove_host``, ``nodes``)
+    so the orchestrator and tap bridge work unchanged.  ``channel`` and
+    the probe helpers refer to the *backbone* segment: every
+    device↔server or device↔attacker flow crosses it, so a backbone tap
+    sees each such packet exactly once — the same per-packet capture a
+    flat LAN's promiscuous tap produces — while intra-leaf chatter stays
+    local, as on a real access network.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        subnet: str = "10.0.0.0",
+        prefix_len: int = 24,
+        data_rate: str | float = "100Mbps",
+        delay: str | float = "6.56us",
+        devices_per_segment: int = 64,
+        leaf_prefix: str = "dev",
+    ) -> None:
+        if devices_per_segment < 1:
+            raise ValueError(
+                f"devices_per_segment must be positive, got {devices_per_segment}"
+            )
+        self.sim = sim
+        self.backbone = CsmaLan(
+            sim, subnet=subnet, prefix_len=prefix_len, data_rate=data_rate, delay=delay
+        )
+        self.data_rate = data_rate
+        self.delay = delay
+        self.devices_per_segment = devices_per_segment
+        self.leaf_prefix = leaf_prefix
+        self.segments: list[CsmaLan] = []
+        self.routers: list[Router] = []
+        self.nodes: list[Node] = []
+        self._router_addrs: list[Ipv4Address] = []
+        self._segment_fill = 0
+
+    @property
+    def channel(self):
+        """The backbone channel (probes, traffic filters, fault injection)."""
+        return self.backbone.channel
+
+    @property
+    def network(self) -> Ipv4Network:
+        """The backbone subnet."""
+        return self.backbone.network
+
+    # ------------------------------------------------------------------
+    # Placement
+
+    def _is_leaf_name(self, name: str) -> bool:
+        bare = name[6:] if name.startswith("ghost-") else name
+        return bare.startswith(self.leaf_prefix)
+
+    def _leaf_network_base(self, index: int) -> Ipv4Address:
+        size = 1 << (32 - self.backbone.network.prefix_len)
+        return Ipv4Address(self.backbone.network.network.value + (index + 1) * size)
+
+    def _new_segment(self) -> tuple[CsmaLan, Router]:
+        index = len(self.segments)
+        lan = CsmaLan(
+            self.sim,
+            subnet=str(self._leaf_network_base(index)),
+            prefix_len=self.backbone.network.prefix_len,
+            data_rate=self.data_rate,
+            delay=self.delay,
+        )
+        router = Router(self.sim, name=f"gw-{index}")
+        backbone_addr = router.join(self.backbone)
+        router.join(lan)
+        # The new gateway learns every existing leaf; everything already
+        # on the backbone (hosts and earlier gateways) learns the new one.
+        for prev_lan, prev_addr in zip(self.segments, self._router_addrs):
+            router.node.add_route(prev_lan.network, prev_addr)
+        for node in self.backbone.nodes:
+            if node is not router.node:
+                node.add_route(lan.network, backbone_addr)
+        self.segments.append(lan)
+        self.routers.append(router)
+        self._router_addrs.append(backbone_addr)
+        self._segment_fill = 0
+        return lan, router
+
+    def _attach_backbone(self, node: Node) -> None:
+        for lan, addr in zip(self.segments, self._router_addrs):
+            node.add_route(lan.network, addr)
+        self.nodes.append(node)
+
+    def _attach_leaf(self, node: Node, queue_capacity: int) -> None:
+        if not self.segments or self._segment_fill >= self.devices_per_segment:
+            self._new_segment()
+        lan, router = self.segments[-1], self.routers[-1]
+        lan.attach(node, queue_capacity=queue_capacity)
+        node.default_gateway = router.address_on(lan)
+        self._segment_fill += 1
+        self.nodes.append(node)
+
+    # ------------------------------------------------------------------
+    # CsmaLan surface
+
+    def add_host(
+        self,
+        name: str,
+        address: Ipv4Address | None = None,
+        queue_capacity: int = 512,
+    ) -> Node:
+        """Create a node and place it (backbone or current leaf, by name)."""
+        if self._is_leaf_name(name):
+            node = Node(self.sim, name)
+            self._attach_leaf(node, queue_capacity)
+            return node
+        node = self.backbone.add_host(
+            name, address=address, queue_capacity=queue_capacity
+        )
+        self._attach_backbone(node)
+        return node
+
+    def attach(self, node: Node, queue_capacity: int = 512) -> None:
+        """Attach an existing node (e.g. a container ghost node)."""
+        if self._is_leaf_name(node.name):
+            self._attach_leaf(node, queue_capacity)
+            return
+        self.backbone.attach(node, queue_capacity=queue_capacity)
+        self._attach_backbone(node)
+
+    def add_probe(self, probe: PacketProbe) -> PacketProbe:
+        """Install a promiscuous capture tap on the backbone segment."""
+        self.backbone.add_probe(probe)
+        return probe
+
+    def remove_probe(self, probe: PacketProbe) -> None:
+        self.backbone.remove_probe(probe)
+
+    def remove_host(self, node: Node) -> None:
+        """Detach a node's devices from whichever segment holds it."""
+        for lan in (self.backbone, *self.segments):
+            if node in lan.nodes:
+                lan.remove_host(node)
+                break
+        else:
+            for iface in node.interfaces:
+                iface.device.detach()
+        if node in self.nodes:
+            self.nodes.remove(node)
+
+    def segment_of(self, node: Node) -> CsmaLan | None:
+        """The leaf segment holding ``node`` (None for backbone residents)."""
+        for lan in self.segments:
+            if node in lan.nodes:
+                return lan
+        return None

@@ -15,7 +15,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterator
 
-from repro.sim.packet import PROTO_TCP, PROTO_UDP, Packet, TcpFlags
+import numpy as np
+
+from repro.sim.packet import PROTO_TCP, PROTO_UDP, Packet, PacketBatch, TcpFlags
 
 PCAP_MAGIC = 0xA1B2C3D2  # nanosecond-resolution variant
 PCAP_LINKTYPE_ETHERNET = 1
@@ -127,6 +129,61 @@ class PacketProbe:
             self.pcap.write(packet, timestamp)
         for sink in self.sinks:
             sink(record)
+
+    def observe_batch(self, batch: PacketBatch, times: np.ndarray) -> None:
+        """Record a delivered train using its exact per-frame instants.
+
+        Produces the same :class:`PacketRecord` rows, in the same order,
+        as ``n`` scalar calls would — but builds them from the batch's
+        int64 columns without materialising packets (unless a pcap writer
+        needs the wire bytes).
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        self.count += n
+        if self.keep_records or self.sinks:
+            flags = int(batch.flags) if batch.protocol == PROTO_TCP else 0
+            label = 1 if batch.provenance.malicious else 0
+            attack = batch.provenance.attack
+            protocol = batch.protocol
+            seq_col = (
+                batch.seq.tolist()
+                if (batch.protocol == PROTO_TCP and batch.seq is not None)
+                else [0] * n
+            )
+            records = [
+                PacketRecord(
+                    timestamp=ts,
+                    src_ip=src,
+                    dst_ip=dst,
+                    protocol=protocol,
+                    src_port=sport,
+                    dst_port=dport,
+                    size=size,
+                    tcp_flags=flags,
+                    seq=seq,
+                    label=label,
+                    attack=attack,
+                )
+                for ts, src, dst, sport, dport, size, seq in zip(
+                    times.tolist(),
+                    batch.src_ip.tolist(),
+                    batch.dst_ip.tolist(),
+                    batch.src_port.tolist(),
+                    batch.dst_port.tolist(),
+                    batch.sizes.tolist(),
+                    seq_col,
+                )
+            ]
+            if self.keep_records:
+                self.records.extend(records)
+            for sink in self.sinks:
+                for record in records:
+                    sink(record)
+        if self.pcap is not None:
+            for i in range(n):
+                self.pcap.write(batch.packet(i), float(times[i]))
 
     def subscribe(self, sink: Callable[[PacketRecord], None]) -> None:
         self.sinks.append(sink)

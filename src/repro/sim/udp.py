@@ -4,8 +4,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+import numpy as np
+
 from repro.sim.address import Ipv4Address
-from repro.sim.packet import PROTO_UDP, Ipv4Header, Packet, Provenance, UdpHeader
+from repro.sim.packet import PROTO_UDP, Ipv4Header, Packet, PacketBatch, Provenance, UdpHeader
 
 if TYPE_CHECKING:
     from repro.sim.node import Node
@@ -94,6 +96,27 @@ class UdpStack:
             self.unreachable += 1
             return
         sock.handle(packet)
+
+    def receive_batch(self, batch: PacketBatch) -> None:
+        """Demultiplex a train: bound-port hits are materialised one by
+        one (per-socket callbacks are scalar), misses count vectorized."""
+        n = len(batch)
+        if n == 0:
+            return
+        if not self.sockets:
+            self.unreachable += n
+            return
+        bound = np.asarray(sorted(self.sockets), dtype=np.int64)
+        hits = np.isin(batch.dst_port, bound)
+        self.unreachable += int((~hits).sum())
+        for i in np.flatnonzero(hits).tolist():
+            packet = batch.packet(i)
+            assert packet.udp is not None
+            self.sockets[packet.udp.dst_port].handle(packet)
+
+    def send_datagram_batch(self, batch: PacketBatch) -> int:
+        """Route a pre-built UDP train; returns frames accepted."""
+        return self.node.send_ipv4_batch(batch)
 
     def send_datagram(
         self,

@@ -45,13 +45,35 @@ from repro.ids.defense import (
     MitigationPlan,
     UpstreamFilter,
 )
-from repro.sim import CsmaLan, PacketProbe, Simulator
+from repro.sim import CsmaLan, PacketProbe, SegmentedLan, Simulator
 from repro.sim.tracing import PcapWriter
 from repro.testbed.scenario import AttackPhase, Scenario
 
 
 class TestbedError(RuntimeError):
     """Raised when a phase cannot complete (e.g. infection stalls)."""
+
+
+class _LiveTapRx:
+    """RX callback feeding the live IDS tap, batched trains included.
+
+    Exposing ``observe_batch`` lets the device hand whole
+    :class:`~repro.sim.packet.PacketBatch` trains (with their exact
+    per-frame delivery instants) straight to the probe instead of
+    materialising every packet at the tap.
+    """
+
+    __slots__ = ("probe", "sim")
+
+    def __init__(self, probe: PacketProbe, sim: Simulator) -> None:
+        self.probe = probe
+        self.sim = sim
+
+    def __call__(self, frame) -> None:
+        self.probe(frame, self.sim.now)
+
+    def observe_batch(self, batch, times) -> None:
+        self.probe.observe_batch(batch, times)
 
 
 class Testbed:
@@ -67,12 +89,23 @@ class Testbed:
         self.scenario = scenario or Scenario()
         # sanitize=None defers to the REPRO_SANITIZE environment variable.
         self.sim = Simulator(sanitize=sanitize)
-        self.lan = CsmaLan(
-            self.sim,
-            subnet=self.scenario.subnet,
-            data_rate=self.scenario.data_rate,
-            delay=self.scenario.channel_delay,
-        )
+        if self.scenario.devices_per_segment > 0:
+            # Hierarchical mode: dev containers go to leaf segments
+            # behind gateways; tserver/attacker/ids stay on the backbone.
+            self.lan: CsmaLan | SegmentedLan = SegmentedLan(
+                self.sim,
+                subnet=self.scenario.subnet,
+                data_rate=self.scenario.data_rate,
+                delay=self.scenario.channel_delay,
+                devices_per_segment=self.scenario.devices_per_segment,
+            )
+        else:
+            self.lan = CsmaLan(
+                self.sim,
+                subnet=self.scenario.subnet,
+                data_rate=self.scenario.data_rate,
+                delay=self.scenario.channel_delay,
+            )
         self.orchestrator = Orchestrator(
             self.sim, self.lan, seed=self.scenario.seed + 9000
         )
@@ -183,6 +216,7 @@ class Testbed:
                 report_credentials=self._on_credentials_found
                 if self.scenario.self_propagate
                 else None,
+                batch_floods=self.scenario.batch_floods,
             )
             dev.exec(bot)
             self.bots.append(bot)
@@ -405,10 +439,7 @@ class Testbed:
         tap = PacketProbe(keep_records=False)
         live.monitor.attach(tap)
         device = ids_container.node.interfaces[0].device
-
-        def tap_rx(frame) -> None:
-            tap(frame, self.sim.now)
-
+        tap_rx = _LiveTapRx(tap, self.sim)
         device.add_rx_callback(tap_rx)
         self.orchestrator.listeners.append(controller.on_supervisor_event)
         self._fault_listeners.append(controller.on_fault_event)
@@ -477,7 +508,9 @@ class Testbed:
 
     def _churn_rejoin(self, index: int) -> None:
         device = self.devices[index].node.interfaces[0].device
-        self.lan.channel.attach(device)
+        # The device remembers its own channel, which on a hierarchical
+        # topology is a leaf segment rather than self.lan.channel.
+        device.channel.attach(device)
         self._churn_offline.discard(index)
 
     # ------------------------------------------------------------------

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.containers.container import Container, Process
-from repro.sim.core import Event
+from repro.sim.core import PeriodicEvent
 
 
 @dataclass(frozen=True)
@@ -52,6 +52,25 @@ class ImpactSeries:
         return max((s.half_open for s in self.samples), default=0)
 
 
+class _FrameTap:
+    """Device RX callback counting bytes, scalar or per-train.
+
+    ``observe_batch`` keeps a :class:`~repro.sim.packet.PacketBatch`
+    train from being materialised packet by packet just to be sized.
+    """
+
+    __slots__ = ("monitor",)
+
+    def __init__(self, monitor: "VictimMonitor") -> None:
+        self.monitor = monitor
+
+    def __call__(self, frame) -> None:
+        self.monitor._rx_bytes_total += frame.size
+
+    def observe_batch(self, batch, times) -> None:
+        self.monitor._rx_bytes_total += float(batch.sizes.sum())
+
+
 class VictimMonitor(Process):
     """Samples the TServer's health every ``interval`` virtual seconds.
 
@@ -59,6 +78,12 @@ class VictimMonitor(Process):
     connections (HTTP responses, RTMP chunks, FTP data), taken from the
     node's TCP sockets — the server-side view of service actually being
     delivered.
+
+    Sampling is *anchored*: sample ``k`` lands at exactly
+    ``t_start + k*interval`` (:meth:`~repro.sim.core.Simulator.schedule_periodic`)
+    rather than drifting by one float ulp per re-schedule, so sample
+    timestamps — and therefore window boundaries in defense benchmarks —
+    are identical between scalar and batched runs of the same seed.
     """
 
     name = "victim-monitor"
@@ -69,7 +94,8 @@ class VictimMonitor(Process):
             raise ValueError(f"interval must be positive, got {interval}")
         self.interval = interval
         self.series = ImpactSeries()
-        self._event: Event | None = None
+        self._event: PeriodicEvent | None = None
+        self._tap = _FrameTap(self)
         self._last_rx_packets = 0
         self._last_rx_bytes = 0.0
         self._last_goodput = 0.0
@@ -78,19 +104,18 @@ class VictimMonitor(Process):
     def on_start(self) -> None:
         # Count every frame this node's device accepts (attack + benign).
         for iface in self.node.interfaces:
-            iface.device.add_rx_callback(self._on_frame)
+            iface.device.add_rx_callback(self._tap)
         # Baseline the cumulative counters so the first sample is a rate,
         # not the node's lifetime total.
         self._last_rx_packets = self.node.packets_received
         self._last_goodput = self._total_goodput()
-        self._event = self.sim.schedule(self.interval, self._sample)
+        self._event = self.sim.schedule_periodic(self.interval, self._sample)
 
     def on_stop(self) -> None:
         if self._event is not None:
             self._event.cancel()
-
-    def _on_frame(self, frame) -> None:
-        self._rx_bytes_total += frame.size
+        for iface in self.node.interfaces:
+            iface.device.remove_rx_callback(self._tap)
 
     def _total_goodput(self) -> float:
         # The stack keeps a monotone application-payload counter, so the
@@ -120,7 +145,6 @@ class VictimMonitor(Process):
         self._last_rx_packets = rx_packets
         self._last_rx_bytes = self._rx_bytes_total
         self._last_goodput = goodput
-        self._event = self.sim.schedule(self.interval, self._sample)
 
 
 def attach_victim_monitor(container: Container, interval: float = 1.0) -> VictimMonitor:

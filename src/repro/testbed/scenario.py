@@ -58,6 +58,13 @@ class Scenario:
     # Botnet
     cnc_port: int = 2323
     self_propagate: bool = False
+    # Flood emission: True makes bots emit PacketBatch trains (identical
+    # per-seed packet counts and window verdicts, far fewer sim events).
+    batch_floods: bool = False
+    # Hierarchical topology: devices per leaf CSMA segment behind a
+    # router on the backbone; 0 keeps the paper's flat single-segment
+    # LAN (the seed-stable default).
+    devices_per_segment: int = 0
     # Device churn (0 disables): mean seconds between churn events, and
     # how long a churned device stays offline.
     churn_interval: float = 0.0
@@ -74,6 +81,10 @@ class Scenario:
             raise ValueError(f"need at least one device, got {self.n_devices}")
         if self.window_seconds <= 0:
             raise ValueError("window_seconds must be positive")
+        if self.devices_per_segment < 0:
+            raise ValueError(
+                f"devices_per_segment must be >= 0, got {self.devices_per_segment}"
+            )
 
     # ------------------------------------------------------------------
     # JSON round-trip (cache keys, campaign grids)
