@@ -10,13 +10,32 @@ schedule.  This subpackage defends that property on two fronts:
   float equality against simulation time, mutable default arguments and
   ``id()``-based tie-breaking, with ``# repro: lint-ok[rule-id]``
   suppressions and a committed baseline (:mod:`repro.analysis.baseline`);
+* **parity** — :mod:`repro.analysis.parity` / :mod:`repro.analysis.effects`
+  implement the dual-path parity checker (``ddoshield check-parity``):
+  AST effect summaries compare each scalar method against its ``_batch``
+  twin (BAT001–BAT004) and an event-commutativity analyzer flags
+  same-bucket handlers whose state writes do not commute (ORD002);
 * **dynamic** — :mod:`repro.analysis.sanitizers` provides opt-in runtime
   invariant checkers (``Simulator(sanitize=True)`` / ``REPRO_SANITIZE=1``)
   for event-time monotonicity, queue/channel packet conservation,
-  socket/port leaks at teardown, and resource-accounting consistency.
+  socket/port leaks at teardown, and resource-accounting consistency,
+  plus the bucket-shuffle race detector seed (``REPRO_SHUFFLE`` /
+  ``Simulator(shuffle_buckets=…)``) that dynamically stresses what
+  ORD002 reasons about statically.
 """
 
 from repro.analysis.baseline import Baseline, diff_findings
+from repro.analysis.effects import (
+    ClassEffects,
+    EffectSummary,
+    collect_class_effects,
+)
+from repro.analysis.parity import (
+    DEFAULT_PARITY_PATHS,
+    PARITY_RULE_IDS,
+    check_parity_paths,
+    discover_pairs,
+)
 from repro.analysis.report import Finding, LintReport, format_json, format_text
 from repro.analysis.rules import RULES, Rule, iter_rules, rule
 from repro.analysis.sanitizers import (
@@ -24,25 +43,42 @@ from repro.analysis.sanitizers import (
     SanitizerError,
     Violation,
     sanitize_mode_from_env,
+    shuffle_seed_from_env,
 )
-from repro.analysis.walker import LintContext, lint_paths, lint_source
+from repro.analysis.walker import (
+    PARSE_RULE_ID,
+    LintContext,
+    lint_paths,
+    lint_source,
+    parse_failure_finding,
+)
 
 __all__ = [
     "Baseline",
+    "ClassEffects",
+    "DEFAULT_PARITY_PATHS",
+    "EffectSummary",
     "Finding",
     "LintContext",
     "LintReport",
+    "PARITY_RULE_IDS",
+    "PARSE_RULE_ID",
     "RULES",
     "Rule",
     "Sanitizer",
     "SanitizerError",
     "Violation",
+    "check_parity_paths",
+    "collect_class_effects",
     "diff_findings",
+    "discover_pairs",
     "format_json",
     "format_text",
     "iter_rules",
     "lint_paths",
     "lint_source",
+    "parse_failure_finding",
     "rule",
     "sanitize_mode_from_env",
+    "shuffle_seed_from_env",
 ]

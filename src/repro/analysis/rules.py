@@ -26,37 +26,54 @@ RuleFn = Callable[["LintContext"], Iterator[tuple[ast.AST, str]]]
 
 @dataclass(frozen=True)
 class Rule:
-    """Registry entry: identity, severity, fix hint and the check itself."""
+    """Registry entry: identity, severity, fix hint and the check itself.
+
+    ``category`` partitions the registry between the determinism linter
+    (``ddoshield lint``) and the batch-parity checker (``ddoshield
+    check-parity``); each command runs only its own category so the two
+    analyses keep independent baselines.
+    """
 
     rule_id: str
     severity: str
     hint: str
     fn: RuleFn
+    category: str = "determinism"
 
 
 RULES: dict[str, Rule] = {}
 
 
-def rule(rule_id: str, severity: str, hint: str) -> Callable[[RuleFn], RuleFn]:
+def rule(
+    rule_id: str, severity: str, hint: str, category: str = "determinism"
+) -> Callable[[RuleFn], RuleFn]:
     """Register a lint rule under ``rule_id`` (e.g. ``RNG001``)."""
 
     def decorator(fn: RuleFn) -> RuleFn:
         if rule_id in RULES:
             raise ValueError(f"duplicate lint rule id {rule_id!r}")
-        RULES[rule_id] = Rule(rule_id=rule_id, severity=severity, hint=hint, fn=fn)
+        RULES[rule_id] = Rule(
+            rule_id=rule_id, severity=severity, hint=hint, fn=fn, category=category
+        )
         return fn
 
     return decorator
 
 
-def iter_rules(only: Iterable[str] | None = None) -> list[Rule]:
-    """All registered rules, optionally restricted to ``only`` ids."""
+def iter_rules(
+    only: Iterable[str] | None = None, category: str | None = None
+) -> list[Rule]:
+    """Registered rules, restricted to ``only`` ids and/or a ``category``."""
     if only is None:
-        return [RULES[key] for key in sorted(RULES)]
-    unknown = set(only) - set(RULES)
-    if unknown:
-        raise KeyError(f"unknown lint rule id(s): {sorted(unknown)}")
-    return [RULES[key] for key in sorted(only)]
+        selected = [RULES[key] for key in sorted(RULES)]
+    else:
+        unknown = set(only) - set(RULES)
+        if unknown:
+            raise KeyError(f"unknown lint rule id(s): {sorted(unknown)}")
+        selected = [RULES[key] for key in sorted(only)]
+    if category is not None:
+        selected = [entry for entry in selected if entry.category == category]
+    return selected
 
 
 # ----------------------------------------------------------------------

@@ -37,6 +37,26 @@ _ENV_TRUE = frozenset({"1", "true", "yes", "on"})
 _ENV_FALSE = frozenset({"", "0", "false", "no", "off"})
 
 
+def shuffle_seed_from_env(env: dict[str, str] | None = None) -> int | None:
+    """Resolve ``REPRO_SHUFFLE`` to a bucket-shuffle seed (None = off).
+
+    The seed drives :class:`~repro.sim.core.Simulator`'s deterministic
+    permutation of equal-``(time, priority)`` event buckets — the
+    runtime race detector for handlers ORD002 reasons about statically.
+    """
+    raw = (env if env is not None else os.environ).get("REPRO_SHUFFLE", "")
+    value = raw.strip()
+    if value == "" or value.lower() in ("0", "off", "false", "no"):
+        return None
+    try:
+        return int(value, 0)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SHUFFLE={raw!r} not understood (integer seed, or empty/0 "
+            "to disable)"
+        ) from None
+
+
 def sanitize_mode_from_env(env: dict[str, str] | None = None) -> bool | str:
     """Resolve ``REPRO_SANITIZE`` to False / True / ``"collect"``."""
     raw = (env if env is not None else os.environ).get("REPRO_SANITIZE", "")

@@ -34,6 +34,29 @@ DEFAULT_WALL_CLOCK_ALLOWLIST: tuple[str, ...] = (
 
 _SUPPRESS_RE = re.compile(r"#\s*repro:\s*lint-ok\[([^\]]*)\]")
 
+#: Pseudo-rule id for files the parser rejects.  Unparseable files used
+#: to be skipped silently; now they surface as error findings so a lint
+#: run over a broken tree exits nonzero instead of vacuously passing.
+PARSE_RULE_ID = "PARSE001"
+PARSE_RULE_HINT = (
+    "the file failed to parse, so no rule could check it; fix the syntax "
+    "error (unparseable files fail the run rather than being skipped)"
+)
+
+
+def parse_failure_finding(path: str, exc: SyntaxError) -> Finding:
+    """Turn a ``SyntaxError`` into an error :class:`Finding` for ``path``."""
+    return Finding(
+        rule_id=PARSE_RULE_ID,
+        severity="error",
+        path=path,
+        line=exc.lineno or 1,
+        col=exc.offset or 1,
+        message=f"file does not parse: {exc.msg}",
+        hint=PARSE_RULE_HINT,
+        snippet=(exc.text or "").strip(),
+    )
+
 
 @dataclass
 class LintContext:
@@ -161,16 +184,20 @@ class LintContext:
 # Entry points
 
 
-def lint_source(
+def build_context(
     source: str,
     path: str = "<string>",
-    rules: Sequence[Rule] | None = None,
     wall_clock_allowlist: Iterable[str] = DEFAULT_WALL_CLOCK_ALLOWLIST,
-) -> tuple[list[Finding], int]:
-    """Lint one module's source; returns (findings, suppressed count)."""
+) -> LintContext:
+    """Parse one module and assemble its :class:`LintContext`.
+
+    Raises :class:`SyntaxError` for unparseable source — callers decide
+    whether that is fatal (:func:`lint_source`) or a reportable finding
+    (:func:`lint_paths`, via :func:`parse_failure_finding`).
+    """
     tree = ast.parse(source, filename=path)
     posix_path = path.replace("\\", "/")
-    ctx = LintContext(
+    return LintContext(
         path=posix_path,
         tree=tree,
         source_lines=source.splitlines(),
@@ -178,9 +205,15 @@ def lint_source(
             fnmatch(posix_path, pattern) for pattern in wall_clock_allowlist
         ),
     )
+
+
+def run_rules(
+    ctx: LintContext, rules: Sequence[Rule]
+) -> tuple[list[Finding], int]:
+    """Run ``rules`` over one prepared context; returns (findings, suppressed)."""
     findings: list[Finding] = []
     suppressed = 0
-    for entry in rules if rules is not None else iter_rules():
+    for entry in rules:
         for node, message in entry.fn(ctx):
             line = getattr(node, "lineno", 1)
             col = getattr(node, "col_offset", 0)
@@ -191,7 +224,7 @@ def lint_source(
                 Finding(
                     rule_id=entry.rule_id,
                     severity=entry.severity,
-                    path=posix_path,
+                    path=ctx.path,
                     line=line,
                     col=col + 1,
                     message=message,
@@ -201,6 +234,23 @@ def lint_source(
             )
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return findings, suppressed
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[Rule] | None = None,
+    wall_clock_allowlist: Iterable[str] = DEFAULT_WALL_CLOCK_ALLOWLIST,
+) -> tuple[list[Finding], int]:
+    """Lint one module's source; returns (findings, suppressed count).
+
+    With ``rules=None`` only the determinism category runs — the parity
+    rules (``BAT*``/``ORD002``) have their own entry point in
+    :mod:`repro.analysis.parity` and their own baseline.
+    """
+    ctx = build_context(source, path, wall_clock_allowlist)
+    selected = rules if rules is not None else iter_rules(category="determinism")
+    return run_rules(ctx, selected)
 
 
 def iter_python_files(paths: Sequence[str | Path], root: Path) -> Iterator[Path]:
@@ -233,6 +283,8 @@ def lint_paths(
 
     Finding paths are reported relative to ``root`` (default: the current
     working directory) with POSIX separators, so baselines are portable.
+    Files the parser rejects are *not* skipped: each yields a
+    ``PARSE001`` error finding, so a broken file fails the run.
     """
     root_path = Path(root) if root is not None else Path.cwd()
     findings: list[Finding] = []
@@ -244,12 +296,17 @@ def lint_paths(
             shown = rel.as_posix()
         except ValueError:
             shown = file.as_posix()
-        file_findings, file_suppressed = lint_source(
-            file.read_text(encoding="utf-8"),
-            path=shown,
-            rules=rules,
-            wall_clock_allowlist=wall_clock_allowlist,
-        )
+        try:
+            file_findings, file_suppressed = lint_source(
+                file.read_text(encoding="utf-8"),
+                path=shown,
+                rules=rules,
+                wall_clock_allowlist=wall_clock_allowlist,
+            )
+        except SyntaxError as exc:
+            findings.append(parse_failure_finding(shown, exc))
+            files_checked += 1
+            continue
         findings.extend(file_findings)
         suppressed += file_suppressed
         files_checked += 1

@@ -34,7 +34,10 @@ Four commands cover the testbed's day-to-day uses:
 * ``ddoshield metrics`` — run one telemetry-enabled experiment and dump
   the metrics registry plus a per-span cost summary;
 * ``ddoshield lint`` — run the determinism linter (repro.analysis) over
-  the source tree against the committed baseline.
+  the source tree against the committed baseline;
+* ``ddoshield check-parity`` — run the batch/scalar dual-path parity
+  checker and event-commutativity analyzer (BAT001–BAT004, ORD002) over
+  the dual-path subtrees against ``analysis/parity_baseline.json``.
 """
 
 from __future__ import annotations
@@ -383,16 +386,10 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_lint(args: argparse.Namespace) -> int:
-    from repro.analysis import (
-        Baseline,
-        diff_findings,
-        format_json,
-        format_text,
-        lint_paths,
-    )
+def _report_findings(args: argparse.Namespace, findings, suppressed, files_checked) -> int:
+    """Shared baseline/format/exit flow for ``lint`` and ``check-parity``."""
+    from repro.analysis import Baseline, diff_findings, format_json, format_text
 
-    findings, suppressed, files_checked = lint_paths(args.paths, root=args.root)
     baseline_path = Path(args.root or ".") / args.baseline
     if args.update_baseline:
         previous = Baseline.load(baseline_path) if baseline_path.exists() else Baseline()
@@ -410,6 +407,22 @@ def cmd_lint(args: argparse.Namespace) -> int:
     )
     print(format_json(report) if args.format == "json" else format_text(report))
     return 0 if report.ok else 1
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import lint_paths
+
+    findings, suppressed, files_checked = lint_paths(args.paths, root=args.root)
+    return _report_findings(args, findings, suppressed, files_checked)
+
+
+def cmd_check_parity(args: argparse.Namespace) -> int:
+    from repro.analysis import check_parity_paths
+
+    findings, suppressed, files_checked = check_parity_paths(
+        args.paths or None, root=args.root
+    )
+    return _report_findings(args, findings, suppressed, files_checked)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -605,6 +618,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="report every finding, ignoring the baseline",
     )
     lint.set_defaults(fn=cmd_lint)
+
+    parity = sub.add_parser(
+        "check-parity",
+        help="check batch/scalar dual-path parity and event commutativity",
+    )
+    parity.add_argument(
+        "paths", nargs="*", default=[],
+        help="files or directories to check (default: the dual-path subtrees "
+        "src/repro/{sim,ids,testbed,botnet})",
+    )
+    parity.add_argument(
+        "--root", default=None,
+        help="repository root findings are reported relative to (default: cwd)",
+    )
+    parity.add_argument("--format", choices=("text", "json"), default="text")
+    parity.add_argument(
+        "--baseline", default="analysis/parity_baseline.json",
+        help="baseline file, relative to --root",
+    )
+    parity.add_argument(
+        "--update-baseline", action="store_true",
+        help="accept all current findings into the baseline and exit",
+    )
+    parity.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    parity.set_defaults(fn=cmd_check_parity)
     return parser
 
 

@@ -376,7 +376,7 @@ class UpstreamFilter:
         ``on_expire`` — only when one of its frames shows up, exactly as
         the per-frame check would.  Returns None when nothing drops.
         """
-        if not self.blocked_until:
+        if len(batch) == 0 or not self.blocked_until:
             return None
         to_victim = batch.dst_ip == self.victim_ip
         if not bool(to_victim.any()):

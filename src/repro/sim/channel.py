@@ -393,7 +393,7 @@ class CsmaNetDevice:
         Returns the number of frames accepted (the transmit queue splits
         batches that only partially fit).
         """
-        if not self.attached:
+        if not self.attached or len(batch) == 0:
             return 0
         framed = batch.with_macs(self.mac, dst_mac, unresolved=unresolved)
         accepted = self.queue.enqueue_batch(framed)
@@ -420,6 +420,8 @@ class CsmaNetDevice:
         if not is_mine and not self.promiscuous:
             return
         n = len(batch)
+        if n == 0:
+            return
         self.rx_count += n
         for callback in self._rx_callbacks:
             observe = getattr(callback, "observe_batch", None)

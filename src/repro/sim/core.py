@@ -12,8 +12,10 @@ simulations in one interpreter without cross-talk.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import itertools
+import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
@@ -157,14 +159,32 @@ class Simulator:
     COMPACT_FRACTION = 0.5
     COMPACT_MIN_SIZE = 64
 
-    def __init__(self, sanitize: bool | str | None = None) -> None:
+    def __init__(
+        self,
+        sanitize: bool | str | None = None,
+        shuffle_buckets: int | None = None,
+    ) -> None:
         """``sanitize`` enables runtime invariant checks: ``True`` raises
         :class:`~repro.analysis.sanitizers.SanitizerError` on the first
         violation, ``"collect"`` records them on ``sanitizer.violations``,
-        ``None`` (default) defers to the ``REPRO_SANITIZE`` env var."""
-        from repro.analysis.sanitizers import make_sanitizer
+        ``None`` (default) defers to the ``REPRO_SANITIZE`` env var.
+
+        ``shuffle_buckets`` arms the bucket-shuffle race detector: a
+        seed makes the kernel deterministically permute every
+        equal-``(time, priority)`` event bucket before dispatch, so any
+        hidden order dependence among "simultaneous" events (the hazard
+        lint rule ORD002 flags statically) changes observable results.
+        A correct simulation is bit-identical for every seed.  ``None``
+        defers to the ``REPRO_SHUFFLE`` env var (unset/empty = off)."""
+        from repro.analysis.sanitizers import make_sanitizer, shuffle_seed_from_env
         from repro import obs
 
+        if shuffle_buckets is None:
+            shuffle_buckets = shuffle_seed_from_env()
+        self.shuffle_seed: int | None = shuffle_buckets
+        self._shuffle_rng = (
+            random.Random(shuffle_buckets) if shuffle_buckets is not None else None
+        )
         self._now = 0.0
         self._heap: list[Event] = []
         self._seq = itertools.count()
@@ -209,6 +229,26 @@ class Simulator:
     def heap_compactions(self) -> int:
         """How many lazy heap compactions have run (for instrumentation)."""
         return self._compactions
+
+    def state_hash(self) -> str:
+        """Digest of kernel-observable state for shuffle-identity checks.
+
+        Covers virtual time, the executed-event count and the multiset
+        of pending ``(time, priority)`` keys.  Event sequence numbers
+        are deliberately excluded: they encode schedule *order*, which a
+        bucket shuffle legitimately permutes — everything hashed here
+        must be identical across shuffle seeds when handlers commute.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"{self._now!r}|{self._events_executed}".encode())
+        pending = sorted(
+            (event.time, event.priority)
+            for event in self._heap
+            if not event.cancelled
+        )
+        for when, priority in pending:
+            digest.update(f"|{when!r},{priority}".encode())
+        return digest.hexdigest()
 
     def _note_cancelled(self) -> None:
         """An event in the heap was cancelled; compact if too many linger.
@@ -432,6 +472,13 @@ class Simulator:
                     bucket.append(mate)
                 self._obs_buckets_drained.inc()
                 self._obs_heap_depth.set(len(heap))
+                if self._shuffle_rng is not None and len(bucket) > 1:
+                    # Race detector: bucket mates claim to commute, so a
+                    # deterministic permutation must not change results.
+                    # (Events scheduled *during* the bucket still run
+                    # after it — only the claimed-commutative prefix is
+                    # permuted.)
+                    self._shuffle_rng.shuffle(bucket)
                 i = 0
                 n = len(bucket)
                 try:

@@ -314,6 +314,8 @@ class Node:
 
     def _forward_batch(self, batch: PacketBatch) -> None:
         """Route a transit train out the next-hop interface (TTL - 1)."""
+        if len(batch) == 0:
+            return
         if batch.ttl <= 1:
             self.ttl_expired += len(batch)
             return

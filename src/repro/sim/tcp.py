@@ -828,6 +828,8 @@ class TcpStack:
         their payload lengths (queues accept batch prefixes, so the head
         sum is exact for single-destination trains).
         """
+        if len(batch) == 0:
+            return 0
         accepted = self.node.send_ipv4_batch(batch)
         if accepted:
             if accepted == len(batch):

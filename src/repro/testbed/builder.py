@@ -85,10 +85,12 @@ class Testbed:
         self,
         scenario: Scenario | None = None,
         sanitize: bool | str | None = None,
+        shuffle_buckets: int | None = None,
     ) -> None:
         self.scenario = scenario or Scenario()
-        # sanitize=None defers to the REPRO_SANITIZE environment variable.
-        self.sim = Simulator(sanitize=sanitize)
+        # sanitize=None defers to REPRO_SANITIZE; shuffle_buckets=None
+        # defers to REPRO_SHUFFLE (the bucket-shuffle race detector).
+        self.sim = Simulator(sanitize=sanitize, shuffle_buckets=shuffle_buckets)
         if self.scenario.devices_per_segment > 0:
             # Hierarchical mode: dev containers go to leaf segments
             # behind gateways; tserver/attacker/ids stay on the backbone.

@@ -26,6 +26,8 @@ in EXPERIMENTS.md, our hypothesis for the paper's Table I ordering):
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -228,6 +230,49 @@ class ExperimentResult:
         """(model, real-time mean accuracy %) rows."""
         return [(r.model_name, 100.0 * r.mean_accuracy) for r in self.detection]
 
+    def fingerprint(self) -> str:
+        """Bit-level run identity for equivalence checks.
+
+        Hashes the dataset composition plus every model's per-window
+        verdict rows — the quantities the paper's tables derive from.
+        Two runs of the same scenario must produce the same fingerprint
+        under any claimed-equivalent execution (scalar vs batch
+        dispatch, any ``Simulator(shuffle_buckets=…)`` seed); a
+        difference means an order dependence leaked into results.
+        """
+
+        def summary_row(summary: DatasetSummary) -> list:
+            return [
+                summary.total,
+                summary.malicious,
+                summary.benign,
+                sorted(summary.by_attack.items()),
+                repr(summary.duration),
+            ]
+
+        payload = {
+            "train": summary_row(self.train_summary),
+            "detect": summary_row(self.detect_summary),
+            "windows": {
+                report.model_name: [
+                    [
+                        w.window_index,
+                        repr(w.start_time),
+                        w.n_packets,
+                        w.n_malicious_true,
+                        w.n_malicious_predicted,
+                        repr(w.accuracy),
+                        w.status,
+                    ]
+                    for w in report.windows
+                ]
+                for report in self.detection
+            },
+        }
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()
+
     def table2(self, strict: bool = False) -> list[tuple[str, float, float, float]]:
         """(model, cpu %, memory Kb, model size Kb) rows.
 
@@ -343,6 +388,7 @@ def run_full_experiment(
     specs: Sequence[ModelSpec] | None = None,
     store: "object | str | None" = None,
     telemetry: bool = False,
+    shuffle_buckets: int | None = None,
 ) -> ExperimentResult:
     """The complete §IV-D procedure on one testbed instance.
 
@@ -352,16 +398,41 @@ def run_full_experiment(
     Pass ``store`` (an :class:`~repro.pipeline.store.ArtifactStore` or a
     cache directory path) to serve unchanged stages from the
     content-addressed cache.
+
+    ``shuffle_buckets`` arms the event kernel's bucket-shuffle race
+    detector for this run (equivalent to ``REPRO_SHUFFLE=<seed>``): any
+    non-commuting same-bucket event handlers change observable results.
+    The seed is deliberately *not* a :class:`Scenario` field — it must
+    never enter stage cache keys — so don't combine it with ``store``
+    (cached stages would bypass the shuffled simulation).
     """
+    import os
+
     from repro.pipeline.stages import run_experiment_pipeline
 
-    result, _ = run_experiment_pipeline(
-        scenario=scenario,
-        train_duration=train_duration,
-        detect_duration=detect_duration,
-        specs=specs,
-        faults=False,
-        store=store,
-        telemetry=telemetry,
-    )
+    previous = os.environ.get("REPRO_SHUFFLE")
+    if shuffle_buckets is not None:
+        if store is not None:
+            raise ValueError(
+                "shuffle_buckets cannot be combined with store: cached "
+                "stages would be served without re-running the shuffled "
+                "simulation"
+            )
+        os.environ["REPRO_SHUFFLE"] = str(shuffle_buckets)
+    try:
+        result, _ = run_experiment_pipeline(
+            scenario=scenario,
+            train_duration=train_duration,
+            detect_duration=detect_duration,
+            specs=specs,
+            faults=False,
+            store=store,
+            telemetry=telemetry,
+        )
+    finally:
+        if shuffle_buckets is not None:
+            if previous is None:
+                os.environ.pop("REPRO_SHUFFLE", None)
+            else:
+                os.environ["REPRO_SHUFFLE"] = previous
     return result

@@ -68,6 +68,8 @@ class _FrameTap:
         self.monitor._rx_bytes_total += frame.size
 
     def observe_batch(self, batch, times) -> None:
+        if len(batch) == 0:
+            return
         self.monitor._rx_bytes_total += float(batch.sizes.sum())
 
 

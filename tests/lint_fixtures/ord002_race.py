@@ -1,0 +1,39 @@
+"""ORD002 fixture: same-bucket handlers whose writes do not commute.
+
+``Racer._fire`` and ``Racer._refire`` are both scheduled callbacks; each
+order-sensitively assigns ``self.last_winner``, which the other also
+touches, so equal-``(time, priority)`` bucket mates produce
+order-dependent state.  Linted as text, never imported.
+"""
+
+
+class Racer:
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.last_winner = ""
+        self.total = 0
+
+    def start(self) -> None:
+        self.sim.schedule(0.0, self._fire)
+        self.sim.schedule(0.0, self._refire)
+
+    def _fire(self) -> None:  # line 20: ORD002
+        self.last_winner = "fire"  # plain assign: order-sensitive
+        self.total += 1  # counter: commutative, not flagged alone
+
+    def _refire(self) -> None:  # line 24: ORD002
+        self.last_winner = "refire"
+
+
+class Commuter:
+    """Control: counter-only handler shares nothing order-sensitive."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.count = 0
+
+    def start(self) -> None:
+        self.sim.schedule(0.0, self._bump)
+
+    def _bump(self) -> None:  # ok: += commutes
+        self.count += 1

@@ -1,0 +1,57 @@
+"""BAT001/BAT002/BAT004 fixtures: batch twins that drift from the scalar path.
+
+``DriftingCounter.receive_batch`` silently drops the ``self.dropped``
+counter update its scalar twin performs — the canonical dual-path bug
+the parity checker exists to catch.  Linted as text, never imported.
+"""
+
+
+class DriftingCounter:
+    """Scalar/batch twins whose effect sets diverge."""
+
+    def __init__(self) -> None:
+        self.received = 0
+        self.dropped = 0
+
+    def receive(self, packet) -> None:
+        self.received += 1
+        if packet.payload_len == 0:
+            self.dropped += 1  # the batch twin forgets this counter
+
+    def receive_batch(self, batch, times) -> None:  # line 21: BAT001
+        self.received += len(batch)  # missing: self.dropped update
+
+
+class LoopingObserver:
+    """Batch twin that just loops the scalar twin (BAT002).
+
+    No BAT004 here: an empty train makes the loop vacuous, so the
+    missing guard is harmless and the rule correctly stays quiet.
+    """
+
+    def __init__(self) -> None:
+        self.seen = 0
+
+    def observe(self, packet) -> None:
+        self.seen += 1
+
+    def observe_batch(self, batch, times) -> None:
+        for i in range(len(batch)):
+            self.observe(batch.packet(i))  # line 40: BAT002
+
+
+class FaithfulQueue:
+    """Control: twins agree, batch guarded — no findings."""
+
+    def __init__(self) -> None:
+        self.enqueued = 0
+
+    def enqueue(self, packet) -> bool:
+        self.enqueued += 1
+        return True
+
+    def enqueue_batch(self, batch, times) -> int:
+        if len(batch) == 0:
+            return 0
+        self.enqueued += len(batch)
+        return len(batch)

@@ -1,0 +1,9 @@
+"""PARSE001 fixture: a file the linter cannot parse.
+
+The dangling ``def`` below is a deliberate syntax error; lint_paths must
+report it as an error finding instead of silently skipping the file.
+Linted as text, never imported (and never importable).
+"""
+
+
+def broken(:

@@ -210,6 +210,39 @@ class TestReporting:
         with pytest.raises(KeyError):
             iter_rules(only=["NOPE999"])
 
+    def test_parity_rules_live_in_their_own_category(self):
+        """``ddoshield lint`` never runs BAT*/ORD002 and vice versa."""
+        determinism = {r.rule_id for r in iter_rules(category="determinism")}
+        parity = {r.rule_id for r in iter_rules(category="parity")}
+        assert parity == {"BAT001", "BAT002", "BAT003", "BAT004", "ORD002"}
+        assert not determinism & parity
+        # A textbook BAT001 divergence is invisible to the default linter.
+        source = (FIXTURES / "parity_drift.py").read_text()
+        findings, _ = lint_source(source, path="tests/lint_fixtures/parity_drift.py")
+        assert findings == []
+
+
+class TestParseFailures:
+    def test_unparseable_file_becomes_an_error_finding(self):
+        findings, suppressed, files = lint_paths(
+            [FIXTURES / "unparseable.py"], root=REPO_ROOT
+        )
+        assert files == 1 and suppressed == 0
+        assert [(f.rule_id, f.severity) for f in findings] == [
+            ("PARSE001", "error")
+        ]
+        assert "does not parse" in findings[0].message
+        assert findings[0].path == "tests/lint_fixtures/unparseable.py"
+
+    def test_cli_fails_on_unparseable_file(self, capsys):
+        rc = main([
+            "lint", "--root", str(REPO_ROOT),
+            "tests/lint_fixtures/unparseable.py", "--no-baseline",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "PARSE001" in out
+
 
 class TestTreeIsClean:
     def test_src_repro_has_no_new_findings(self):
