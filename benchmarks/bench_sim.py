@@ -1,16 +1,22 @@
 #!/usr/bin/env python
 """Benchmark the event kernel: scalar packets vs batched trains.
 
-Runs the same seeded SYN-flood scene at each node count twice — scalar
-per-packet emission and :class:`~repro.sim.packet.PacketBatch` trains —
-checks emission counts and per-window verdicts are identical, and writes
-the timings to ``BENCH_sim.json`` at the repo root.  ``--smoke`` caps
+Runs the same seeded scene at each node count twice — scalar per-packet
+emission and :class:`~repro.sim.packet.PacketBatch` trains — checks the
+two runs are equivalent, and merges the timings into ``BENCH_sim.json``
+at the repo root (``flood`` and ``benign`` sections are independent, so
+either sweep can be re-run without clobbering the other).
+
+The default sweep is the SYN-flood path; ``--benign`` switches to the
+benign plane (HTTP/FTP/RTMP/DNS device mix, no floods), which is the
+workload the ``batch_benign`` refactor vectorizes.  ``--smoke`` caps
 the sweep at {16, 64} nodes for CI (seconds, exercises batching end to
 end); ``--assert-speedup X`` fails the run if the batched kernel is not
 at least ``X`` times the scalar packets/s at the largest node count.
 
     PYTHONPATH=src python benchmarks/bench_sim.py
     PYTHONPATH=src python benchmarks/bench_sim.py --smoke --assert-speedup 1.0
+    PYTHONPATH=src python benchmarks/bench_sim.py --benign --nodes 64 256 1024
 """
 
 from __future__ import annotations
@@ -18,7 +24,13 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
-from repro.sim.bench import format_benchmark, run_sim_benchmark, write_benchmark
+from repro.sim.bench import (
+    format_benchmark,
+    format_benign_benchmark,
+    merge_benchmark,
+    run_benign_benchmark,
+    run_sim_benchmark,
+)
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
 
@@ -39,6 +51,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
     parser.add_argument(
+        "--benign",
+        action="store_true",
+        help="benchmark the benign plane (device HTTP/FTP/RTMP/DNS mix, no "
+        "floods) instead of the flood path; writes the 'benign' section",
+    )
+    parser.add_argument(
+        "--benign-duration",
+        type=float,
+        default=8.0,
+        help="sim-seconds per benign run (flood --duration is far too short "
+        "for session-scale traffic)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="cap the sweep at {16, 64} nodes for CI: fast, correctness-focused",
@@ -53,18 +78,28 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.smoke:
         args.nodes = [n for n in args.nodes if n <= 64] or [16, 64]
-    result = run_sim_benchmark(
-        node_counts=args.nodes,
-        pps_per_node=args.pps,
-        duration=args.duration,
-        seed=args.seed,
-        attack=args.attack,
-        window_seconds=args.window_seconds,
-        devices_per_segment=args.segment_size,
-    )
+    if args.benign:
+        result = run_benign_benchmark(
+            node_counts=args.nodes,
+            duration=args.benign_duration,
+            seed=args.seed,
+            devices_per_segment=args.segment_size,
+        )
+        section, formatted = "benign", format_benign_benchmark(result)
+    else:
+        result = run_sim_benchmark(
+            node_counts=args.nodes,
+            pps_per_node=args.pps,
+            duration=args.duration,
+            seed=args.seed,
+            attack=args.attack,
+            window_seconds=args.window_seconds,
+            devices_per_segment=args.segment_size,
+        )
+        section, formatted = "flood", format_benchmark(result)
     result["smoke"] = args.smoke
-    path = write_benchmark(result, args.out)
-    print(format_benchmark(result))
+    path = merge_benchmark(result, args.out, section)
+    print(formatted)
     print(f"wrote {path}")
     if args.assert_speedup is not None:
         top = result["runs"][-1]

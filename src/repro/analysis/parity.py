@@ -98,6 +98,7 @@ DEFAULT_PARITY_PATHS: tuple[str, ...] = (
     "src/repro/ids",
     "src/repro/testbed",
     "src/repro/botnet",
+    "src/repro/apps",
 )
 
 

@@ -35,7 +35,15 @@ class TrafficMix:
 
 
 class DeviceProfile(Process):
-    """Drives a device's benign sessions against the TServer."""
+    """Drives a device's benign sessions against the TServer.
+
+    Session launches follow a Poisson arrival chain held as absolute
+    next-arrival times and consumed by one anchored periodic tick
+    (``schedule_periodic``, tick k at exactly ``t0 + k*tick``): long
+    runs stay drift-free, and each tick books the coming window's
+    launches at their exact arrival instants — timing identical to the
+    old self-rescheduling chain, but drawn ahead in arrival order.
+    """
 
     name = "device-profile"
 
@@ -48,12 +56,14 @@ class DeviceProfile(Process):
         seed: int = 0,
         start_delay: float = 0.0,
         rtmp_duration: tuple[float, float] = (4.0, 10.0),
+        tick: float | None = None,
     ) -> None:
         super().__init__()
         self.tserver = tserver
         self.mix = mix or TrafficMix()
         self.rng = random.Random(seed)
         self.start_delay = start_delay
+        self.tick = tick if tick is not None else self.mix.mean_session_interval / 2
         self.http = HttpClient(tserver, http_pages, mean_interval=1e9, seed=seed * 3 + 1)
         self.ftp = FtpClient(tserver, ftp_files, mean_interval=1e9, seed=seed * 3 + 2)
         self.rtmp = RtmpClient(
@@ -64,7 +74,9 @@ class DeviceProfile(Process):
             seed=seed * 3 + 3,
         )
         self.sessions_started = 0
-        self._next_event = None
+        self._next_session = 0.0
+        self._ticker = None
+        self._boot = None
 
     def on_start(self) -> None:
         # Sub-clients are driven by this profile, not their own timers:
@@ -72,29 +84,52 @@ class DeviceProfile(Process):
         for client in (self.http, self.ftp, self.rtmp):
             client.container = self.container
             client.running = True
-        self._next_event = self.sim.schedule(
-            self.start_delay + self.rng.expovariate(1.0 / self.mix.mean_session_interval),
-            self._session,
+        base = self.sim.now + self.start_delay
+        self._next_session = base + self.rng.expovariate(
+            1.0 / self.mix.mean_session_interval
         )
+        # The bootstrap covers (base, base+tick]; the anchored ticker
+        # takes over from base+tick with zero accumulated drift.
+        self._boot = self.sim.schedule(self.start_delay, self._tick)
+        self._ticker = self.sim.schedule_periodic(self.tick, self._tick, t0=base)
 
     def on_stop(self) -> None:
-        if self._next_event is not None:
-            self._next_event.cancel()
+        if self._ticker is not None:
+            self._ticker.cancel()
+            self._ticker = None
+        if self._boot is not None:
+            self._boot.cancel()
+            self._boot = None
         for client in (self.http, self.ftp, self.rtmp):
             client.running = False
 
-    def _session(self) -> None:
+    def _tick(self) -> None:
+        """Look ahead one tick window and book every session in it.
+
+        Launches are scheduled at their exact Poisson arrival instants,
+        so traffic timing is independent of the tick size — the tick
+        only bounds how far ahead arrivals are drawn.  Draws stay in
+        arrival order (kind, then gap), the same stream the
+        self-rescheduling implementation consumed.
+        """
+        if not self.running:
+            return
+        horizon = self.sim.now + self.tick
+        weights = (self.mix.http_weight, self.mix.ftp_weight, self.mix.rtmp_weight)
+        while self._next_session <= horizon:
+            kind = self.rng.choices(("http", "ftp", "rtmp"), weights=weights)[0]
+            self.sim.schedule_abs(self._next_session, self._launch_session, kind)
+            self._next_session += self.rng.expovariate(
+                1.0 / self.mix.mean_session_interval
+            )
+
+    def _launch_session(self, kind: str) -> None:
         if not self.running:
             return
         self.sessions_started += 1
-        weights = (self.mix.http_weight, self.mix.ftp_weight, self.mix.rtmp_weight)
-        kind = self.rng.choices(("http", "ftp", "rtmp"), weights=weights)[0]
         if kind == "http":
             self.http.fetch_once()
         elif kind == "ftp":
             self.ftp.download_once()
         else:
             self.rtmp.play_once()
-        self._next_event = self.sim.schedule(
-            self.rng.expovariate(1.0 / self.mix.mean_session_interval), self._session
-        )

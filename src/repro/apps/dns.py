@@ -4,6 +4,13 @@ IoT devices chatter constantly over UDP — name lookups before every
 cloud call, periodic clock sync.  These small request/response exchanges
 put benign UDP on the wire, so a UDP flood cannot be identified by the
 protocol field alone (as on any real network).
+
+The chatter generator runs on the anchored periodic kernel: one
+drift-free tick per device (tick k fires at exactly ``t0 + k*tick``)
+consumes every Poisson arrival that came due since the last tick and
+emits them together — as one :class:`PacketBatch` train in batch mode,
+or as back-to-back scalar datagrams otherwise.  Both modes draw from the
+RNG in the identical order, so their emissions are bit-exact twins.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ import random
 
 from repro.containers.container import Process
 from repro.sim.address import Ipv4Address
+from repro.sim.packet import PacketBatch
 
 DNS_PORT = 53
 NTP_PORT = 123
@@ -32,6 +40,7 @@ class DnsServer(Process):
     def on_start(self) -> None:
         self._sock = self.node.udp.bind(self.port)
         self._sock.on_receive = self._answer
+        self._sock.on_receive_batch = self._answer_batch
 
     def on_stop(self) -> None:
         if self._sock is not None:
@@ -40,6 +49,25 @@ class DnsServer(Process):
     def _answer(self, sock, payload, length, src, sport) -> None:
         self.queries_answered += 1
         sock.send_to(src, sport, length=self.response_bytes, app_data=("dns", "answer"))
+
+    def _answer_batch(self, sock, batch) -> None:
+        """Answer a query train with one response train (per-query
+        content identical to the scalar twin's replies)."""
+        n = len(batch)
+        if n == 0:
+            return
+        self.queries_answered += n
+        sock.send_to_batch(
+            PacketBatch.udp_batch(
+                n,
+                src_ip=self.node.address.value,
+                dst_ip=batch.src_ip,
+                src_port=self.port,
+                dst_port=batch.src_port,
+                payload_len=self.response_bytes,
+                app_data=(("dns", "answer"),) * n,
+            )
+        )
 
 
 class NtpServer(Process):
@@ -56,6 +84,7 @@ class NtpServer(Process):
     def on_start(self) -> None:
         self._sock = self.node.udp.bind(self.port)
         self._sock.on_receive = self._answer
+        self._sock.on_receive_batch = self._answer_batch
 
     def on_stop(self) -> None:
         if self._sock is not None:
@@ -65,9 +94,35 @@ class NtpServer(Process):
         self.requests_answered += 1
         sock.send_to(src, sport, length=48, app_data=("ntp", "reply"))
 
+    def _answer_batch(self, sock, batch) -> None:
+        """Answer a request train with one 48-byte-reply train."""
+        n = len(batch)
+        if n == 0:
+            return
+        self.requests_answered += n
+        sock.send_to_batch(
+            PacketBatch.udp_batch(
+                n,
+                src_ip=self.node.address.value,
+                dst_ip=batch.src_ip,
+                src_port=self.port,
+                dst_port=batch.src_port,
+                payload_len=48,
+                app_data=(("ntp", "reply"),) * n,
+            )
+        )
+
 
 class UdpChatter(Process):
-    """A device's background UDP behaviour: DNS queries and NTP syncs."""
+    """A device's background UDP behaviour: DNS queries and NTP syncs.
+
+    Poisson arrival chains for both streams are maintained as absolute
+    next-arrival times and consumed by one anchored periodic tick
+    (``schedule_periodic``), so a long run never accumulates float
+    drift and a dense device costs one event per tick, not one per
+    datagram.  ``batch=True`` coalesces each tick's emissions into a
+    single mixed DNS/NTP train.
+    """
 
     name = "udp-chatter"
 
@@ -78,6 +133,8 @@ class UdpChatter(Process):
         mean_ntp_interval: float = 16.0,
         seed: int = 0,
         start_delay: float = 0.0,
+        tick: float | None = None,
+        batch: bool = False,
     ) -> None:
         super().__init__()
         self.server = server
@@ -85,55 +142,111 @@ class UdpChatter(Process):
         self.mean_ntp_interval = mean_ntp_interval
         self.rng = random.Random(seed)
         self.start_delay = start_delay
+        self.tick = tick if tick is not None else min(
+            mean_dns_interval, mean_ntp_interval
+        )
+        self.batch = batch
         self.queries_sent = 0
         self.responses_received = 0
-        self._events = []
+        self._next_dns = 0.0
+        self._next_ntp = 0.0
+        self._ticker = None
         self._sock = None
 
     def on_start(self) -> None:
         self._sock = self.node.udp.bind(0)
         self._sock.on_receive = self._on_response
-        self._events = [
-            self.sim.schedule(
-                self.start_delay + self.rng.expovariate(1.0 / self.mean_dns_interval),
-                self._dns_query,
-            ),
-            self.sim.schedule(
-                self.start_delay + self.rng.expovariate(1.0 / self.mean_ntp_interval),
-                self._ntp_sync,
-            ),
-        ]
+        self._sock.on_receive_batch = self._on_response_batch
+        base = self.sim.now + self.start_delay
+        self._next_dns = base + self.rng.expovariate(1.0 / self.mean_dns_interval)
+        self._next_ntp = base + self.rng.expovariate(1.0 / self.mean_ntp_interval)
+        # The bootstrap covers (base, base+tick]; the anchored ticker
+        # takes over from base+tick with zero accumulated drift.
+        self._boot = self.sim.schedule(self.start_delay, self._tick)
+        self._ticker = self.sim.schedule_periodic(self.tick, self._tick, t0=base)
 
     def on_stop(self) -> None:
-        for event in self._events:
-            event.cancel()
+        if self._ticker is not None:
+            self._ticker.cancel()
+            self._ticker = None
+        if self._boot is not None:
+            self._boot.cancel()
+            self._boot = None
         if self._sock is not None:
             self._sock.close()
 
     def _on_response(self, sock, payload, length, src, sport) -> None:
         self.responses_received += 1
 
-    def _dns_query(self) -> None:
-        if not self.running:
-            return
-        self.queries_sent += 1
-        name = f"device-{self.rng.randrange(64)}.iot.example"
-        self._sock.send_to(
-            self.server, DNS_PORT, length=30 + len(name), app_data=("dns", name)
-        )
-        self._events.append(
-            self.sim.schedule(
-                self.rng.expovariate(1.0 / self.mean_dns_interval), self._dns_query
-            )
-        )
+    def _on_response_batch(self, sock, batch) -> None:
+        self.responses_received += len(batch)
 
-    def _ntp_sync(self) -> None:
+    def _tick(self) -> None:
+        """Look ahead one tick window and book every datagram in it.
+
+        Both Poisson chains are merged in chronological arrival order, so
+        the RNG stream is consumed exactly as the old per-event chains
+        consumed it, and scalar emissions keep their exact arrival
+        instants (the tick only bounds the look-ahead).  In batch mode
+        the window's datagrams leave as one train at the *last* arrival
+        instant — the same train-end timing the channel gives TCP trains.
+        """
         if not self.running:
             return
-        self.queries_sent += 1
-        self._sock.send_to(self.server, NTP_PORT, length=48, app_data=("ntp", "req"))
-        self._events.append(
-            self.sim.schedule(
-                self.rng.expovariate(1.0 / self.mean_ntp_interval), self._ntp_sync
+        horizon = self.sim.now + self.tick
+        times: list[float] = []
+        ports: list[int] = []
+        lengths: list[int] = []
+        tags: list[tuple] = []
+        while True:
+            t_dns, t_ntp = self._next_dns, self._next_ntp
+            if t_dns > horizon and t_ntp > horizon:
+                break
+            if t_dns <= t_ntp:
+                name = f"device-{self.rng.randrange(64)}.iot.example"
+                times.append(t_dns)
+                ports.append(DNS_PORT)
+                lengths.append(30 + len(name))
+                tags.append(("dns", name))
+                self._next_dns = t_dns + self.rng.expovariate(
+                    1.0 / self.mean_dns_interval
+                )
+            else:
+                times.append(t_ntp)
+                ports.append(NTP_PORT)
+                lengths.append(48)
+                tags.append(("ntp", "req"))
+                self._next_ntp = t_ntp + self.rng.expovariate(
+                    1.0 / self.mean_ntp_interval
+                )
+        if not times:
+            return
+        # Count at booking time: both modes consume identical arrivals,
+        # so the counter is equal by construction even when the run cuts
+        # off between a window's first arrival and its train emission.
+        self.queries_sent += len(times)
+        if self.batch and len(times) > 1:
+            self.sim.schedule_abs(times[-1], self._emit_train, ports, lengths, tags)
+            return
+        for when, port, length, tag in zip(times, ports, lengths, tags):
+            self.sim.schedule_abs(when, self._emit_one, port, length, tag)
+
+    def _emit_one(self, port: int, length: int, tag: tuple) -> None:
+        if not self.running or self._sock is None:
+            return
+        self._sock.send_to(self.server, port, length=length, app_data=tag)
+
+    def _emit_train(self, ports: list[int], lengths: list[int], tags: list[tuple]) -> None:
+        if not self.running or self._sock is None:
+            return
+        self._sock.send_to_batch(
+            PacketBatch.udp_batch(
+                len(ports),
+                src_ip=self.node.address.value,
+                dst_ip=self.server.value,
+                src_port=self._sock.port,
+                dst_port=ports,
+                payload_len=lengths,
+                app_data=tuple(tags),
             )
         )

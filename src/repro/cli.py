@@ -192,7 +192,20 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.pipeline import CampaignSpec, run_campaign
     from repro.testbed import Scenario
 
-    if args.scenarios:
+    if args.catalog:
+        from repro.testbed.catalog import get_scenario
+
+        names = [part.strip() for part in args.catalog.split(",") if part.strip()]
+        if not names:
+            raise SystemExit(f"--catalog: expected scenario names, got {args.catalog!r}")
+        overrides = (
+            {"n_devices": args.catalog_devices} if args.catalog_devices else {}
+        )
+        try:
+            scenarios = tuple(get_scenario(name, **overrides) for name in names)
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0]))
+    elif args.scenarios:
         payload = json.loads(Path(args.scenarios).read_text())
         if not isinstance(payload, list) or not payload:
             raise SystemExit(f"{args.scenarios}: expected a non-empty JSON list of scenarios")
@@ -295,8 +308,36 @@ def cmd_bench_features(args: argparse.Namespace) -> int:
 
 
 def cmd_bench_sim(args: argparse.Namespace) -> int:
-    from repro.sim.bench import format_benchmark, run_sim_benchmark, write_benchmark
+    from repro.sim.bench import (
+        format_benchmark,
+        format_benign_benchmark,
+        merge_benchmark,
+        run_benign_benchmark,
+        run_sim_benchmark,
+    )
 
+    if args.benign:
+        result = run_benign_benchmark(
+            node_counts=tuple(args.nodes),
+            duration=args.benign_duration,
+            seed=args.seed,
+            mean_session_interval=args.mean_session_interval,
+            mean_dns_interval=args.mean_dns_interval,
+            devices_per_segment=args.segment_size,
+        )
+        print(format_benign_benchmark(result))
+        if args.out:
+            print(f"wrote {merge_benchmark(result, args.out, 'benign')}")
+        if args.assert_speedup is not None:
+            top = result["runs"][-1]
+            speedup = top["speedup_packets_per_second"]
+            if speedup < args.assert_speedup:
+                print(
+                    f"benign speedup {speedup:.2f}x at {top['nodes']} devices "
+                    f"below required {args.assert_speedup:.2f}x"
+                )
+                return 1
+        return 0
     result = run_sim_benchmark(
         node_counts=tuple(args.nodes),
         pps_per_node=args.pps,
@@ -308,7 +349,7 @@ def cmd_bench_sim(args: argparse.Namespace) -> int:
     )
     print(format_benchmark(result))
     if args.out:
-        print(f"wrote {write_benchmark(result, args.out)}")
+        print(f"wrote {merge_benchmark(result, args.out, 'flood')}")
     return 0
 
 
@@ -462,6 +503,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenarios", default=None,
         help="JSON file with a list of Scenario.to_dict() entries (overrides --devices)",
     )
+    campaign.add_argument(
+        "--catalog", default=None,
+        help="comma-separated named scenarios from the testbed catalog "
+             "(e.g. urban-smoke,urban-4060; overrides --devices/--scenarios)",
+    )
+    campaign.add_argument(
+        "--catalog-devices", type=int, default=None,
+        help="override n_devices on every --catalog scenario (CI-sized cuts "
+             "of the urban recipes)",
+    )
     campaign.add_argument("--train-duration", type=float, default=60.0)
     campaign.add_argument("--detect-duration", type=float, default=30.0)
     campaign.add_argument("--faults", action="store_true",
@@ -559,6 +610,25 @@ def build_parser() -> argparse.ArgumentParser:
     bench_sim.add_argument("--segment-size", type=int, default=64,
                            help="devices per CSMA segment (0 = flat LAN)")
     bench_sim.add_argument("--out", default="BENCH_sim.json")
+    bench_sim.add_argument(
+        "--benign", action="store_true",
+        help="benchmark the benign plane (HTTP/FTP/RTMP/DNS mix, no floods) "
+             "instead of the flood path; writes the 'benign' section of --out",
+    )
+    bench_sim.add_argument(
+        "--benign-duration", type=float, default=8.0,
+        help="sim-seconds per benign run (the flood --duration is far too "
+             "short for session-scale traffic; default: 8)",
+    )
+    bench_sim.add_argument("--mean-session-interval", type=float, default=6.0,
+                           help="benign: mean seconds between device sessions")
+    bench_sim.add_argument("--mean-dns-interval", type=float, default=2.0,
+                           help="benign: mean seconds between DNS lookups")
+    bench_sim.add_argument(
+        "--assert-speedup", type=float, default=None,
+        help="benign: exit non-zero if batch/scalar pkt/s speedup at the "
+             "largest node count falls below this (CI floor)",
+    )
     bench_sim.set_defaults(fn=cmd_bench_sim)
 
     def _add_observed_args(p: argparse.ArgumentParser) -> None:

@@ -124,11 +124,12 @@ class Ipv4Network:
         self.mask = (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF if prefix_len else 0
         self.network = Ipv4Address(base_addr.value & self.mask)
         self._next_host = 1
+        self._broadcast = Ipv4Address(self.network.value | (~self.mask & 0xFFFFFFFF))
 
     @property
     def broadcast(self) -> Ipv4Address:
         """The subnet's directed-broadcast address."""
-        return Ipv4Address(self.network.value | (~self.mask & 0xFFFFFFFF))
+        return self._broadcast
 
     def contains(self, address: Ipv4Address) -> bool:
         """Whether ``address`` falls inside this subnet."""

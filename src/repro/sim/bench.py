@@ -193,10 +193,243 @@ def run_sim_benchmark(
     }
 
 
+def _build_and_run_benign(
+    n_devices: int,
+    batch: bool,
+    duration: float,
+    seed: int,
+    mean_session_interval: float,
+    mean_dns_interval: float,
+    devices_per_segment: int,
+    weights: tuple[float, float, float],
+    rtmp_bitrate_bps: float,
+    rtmp_chunk_interval: float,
+    ftp_file_bytes: tuple[int, int],
+    data_rate: str,
+) -> dict:
+    """One benign-only testbed run; returns counters, records, and wall.
+
+    Builds the full Figure 1 testbed (TServer apps, device profiles,
+    UDP chatter) but never infects, so every packet on the wire is the
+    benign plane — exactly the traffic the ``batch_benign`` refactor
+    vectorizes.  Wall-clock covers the simulation only, not assembly.
+    """
+    # Local import: repro.testbed imports repro.sim, so the testbed can
+    # only be pulled in lazily from inside the sim package.
+    from repro.apps import UdpChatter
+    from repro.testbed.builder import Testbed
+    from repro.testbed.scenario import Scenario
+
+    http_w, ftp_w, rtmp_w = weights
+    scenario = Scenario(
+        n_devices=n_devices,
+        seed=seed,
+        devices_per_segment=devices_per_segment,
+        mean_session_interval=mean_session_interval,
+        mean_dns_interval=mean_dns_interval,
+        http_weight=http_w,
+        ftp_weight=ftp_w,
+        rtmp_weight=rtmp_w,
+        rtmp_bitrate_bps=rtmp_bitrate_bps,
+        rtmp_chunk_interval=rtmp_chunk_interval,
+        ftp_min_file_bytes=ftp_file_bytes[0],
+        ftp_max_file_bytes=ftp_file_bytes[1],
+        data_rate=data_rate,
+        batch_benign=batch,
+    )
+    testbed = Testbed(scenario).build()
+    probe = testbed.lan.add_probe(PacketProbe())
+    started = time.perf_counter()
+    testbed.sim.run(until=duration)
+    wall = time.perf_counter() - started
+    chatters = [
+        process
+        for dev in testbed.devices
+        for process in dev.processes
+        if isinstance(process, UdpChatter)
+    ]
+    assert testbed.tserver is not None
+    return {
+        "wall_seconds": wall,
+        "events": testbed.sim.events_executed,
+        "delivered": probe.count,
+        "records": probe.records,
+        "sessions_started": sum(p.sessions_started for p in testbed.profiles),
+        "queries_sent": sum(c.queries_sent for c in chatters),
+        "responses_received": sum(c.responses_received for c in chatters),
+        "victim_payload_bytes": testbed.tserver.node.tcp.payload_bytes_sent,
+    }
+
+
+def _attack_windows(records, window_seconds: float) -> list[int]:
+    """Window indices a threshold IDS would flag, from capture records."""
+    totals: dict[int, list[int]] = {}
+    for record in records:
+        bucket = totals.setdefault(int(record.timestamp // window_seconds), [0, 0])
+        bucket[0] += 1
+        bucket[1] += record.label
+    return sorted(
+        index
+        for index, (total, bad) in totals.items()
+        if bad / total >= VERDICT_THRESHOLD
+    )
+
+
+def run_benign_benchmark(
+    node_counts: Sequence[int] = (64, 256, 1024),
+    duration: float = 8.0,
+    seed: int = 7,
+    mean_session_interval: float = 6.0,
+    mean_dns_interval: float = 2.0,
+    window_seconds: float = 1.0,
+    devices_per_segment: int = 64,
+    weights: tuple[float, float, float] = (0.10, 0.45, 0.45),
+    rtmp_bitrate_bps: float = 1_600_000.0,
+    rtmp_chunk_interval: float = 0.3,
+    ftp_file_bytes: tuple[int, int] = (200_000, 800_000),
+    data_rate: str = "1Gbps",
+) -> dict:
+    """Benign-plane sweep: scalar TCP/chatter vs the batched twin.
+
+    The workload is benign-dominated by construction (no infection runs,
+    so it is 100 % benign): HTTP page fetches, bulk FTP downloads, RTMP
+    streams, and DNS/NTP chatter from every device against the TServer.
+    Equivalence is asserted on the emission side — session launches and
+    chatter datagrams are RNG twins, so their counts must match exactly —
+    and on per-window attack verdicts (trivially all-benign, but a batch
+    bug that mislabels provenance would trip it).  Delivered counts can
+    drift by the few frames still riding an in-flight train when the
+    clock stops (train delivery lands at the train's *last* frame
+    instant), so bit-identity of the capture is reported, not asserted.
+    """
+    runs = []
+    for n in node_counts:
+        scalar = _build_and_run_benign(
+            n, False, duration, seed, mean_session_interval,
+            mean_dns_interval, devices_per_segment, weights,
+            rtmp_bitrate_bps, rtmp_chunk_interval, ftp_file_bytes, data_rate,
+        )
+        batched = _build_and_run_benign(
+            n, True, duration, seed, mean_session_interval,
+            mean_dns_interval, devices_per_segment, weights,
+            rtmp_bitrate_bps, rtmp_chunk_interval, ftp_file_bytes, data_rate,
+        )
+        equivalence = {
+            "sessions_equal": scalar["sessions_started"] == batched["sessions_started"],
+            "queries_equal": scalar["queries_sent"] == batched["queries_sent"],
+            "attack_windows_identical": (
+                _attack_windows(scalar["records"], window_seconds)
+                == _attack_windows(batched["records"], window_seconds)
+            ),
+            "records_bit_identical": scalar["records"] == batched["records"],
+            "delivered": [scalar["delivered"], batched["delivered"]],
+            "responses_received": [
+                scalar["responses_received"], batched["responses_received"],
+            ],
+            "victim_payload_bytes": [
+                scalar["victim_payload_bytes"], batched["victim_payload_bytes"],
+            ],
+        }
+        if not equivalence["sessions_equal"]:
+            raise AssertionError(
+                f"batched benign plane changed session launches at {n} devices: "
+                f"{scalar['sessions_started']} != {batched['sessions_started']}"
+            )
+        if not equivalence["queries_equal"]:
+            raise AssertionError(
+                f"batched benign plane changed chatter emission at {n} devices: "
+                f"{scalar['queries_sent']} != {batched['queries_sent']}"
+            )
+        if not equivalence["attack_windows_identical"]:
+            raise AssertionError(
+                f"batched benign plane changed window verdicts at {n} devices"
+            )
+        scalar["records"] = batched["records"] = None
+        row: dict = {"nodes": n}
+        for label, run in (("scalar", scalar), ("batch", batched)):
+            row[label] = {
+                "wall_seconds": run["wall_seconds"],
+                "events": run["events"],
+                "events_per_second": run["events"] / run["wall_seconds"],
+                "packets_delivered": run["delivered"],
+                "packets_per_second": run["delivered"] / run["wall_seconds"],
+                "sessions_started": run["sessions_started"],
+                "queries_sent": run["queries_sent"],
+            }
+        row["event_reduction"] = scalar["events"] / max(1, batched["events"])
+        row["speedup_packets_per_second"] = (
+            row["batch"]["packets_per_second"] / row["scalar"]["packets_per_second"]
+        )
+        row["equivalence"] = equivalence
+        runs.append(row)
+    return {
+        "workload": "benign",
+        "node_counts": list(node_counts),
+        "duration_seconds": duration,
+        "window_seconds": window_seconds,
+        "seed": seed,
+        "mean_session_interval": mean_session_interval,
+        "mean_dns_interval": mean_dns_interval,
+        "devices_per_segment": devices_per_segment,
+        "weights": {"http": weights[0], "ftp": weights[1], "rtmp": weights[2]},
+        "rtmp_bitrate_bps": rtmp_bitrate_bps,
+        "rtmp_chunk_interval": rtmp_chunk_interval,
+        "ftp_file_bytes": list(ftp_file_bytes),
+        "data_rate": data_rate,
+        "runs": runs,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+def format_benign_benchmark(result: dict) -> str:
+    """Human-readable one-screen summary of a benign-plane result."""
+    lines = [
+        f"benign-plane benchmark — HTTP/FTP/RTMP/DNS mix, "
+        f"{result['duration_seconds']:g}s sim, "
+        f"session interval {result['mean_session_interval']:g}s"
+    ]
+    for row in result["runs"]:
+        eq = row["equivalence"]
+        tag = "bit-identical" if eq["records_bit_identical"] else "verdict-identical"
+        lines.append(
+            f"  {row['nodes']:>5} devices: scalar {row['scalar']['packets_per_second']:>9.0f} pkt/s "
+            f"→ batch {row['batch']['packets_per_second']:>9.0f} pkt/s "
+            f"({row['speedup_packets_per_second']:.1f}×, "
+            f"{row['event_reduction']:.1f}× fewer events, {tag})"
+        )
+    return "\n".join(lines)
+
+
 def write_benchmark(result: dict, path: str | Path) -> Path:
     """Persist benchmark results as pretty-printed JSON."""
     path = Path(path)
     path.write_text(json.dumps(result, indent=2) + "\n")
+    return path
+
+
+def merge_benchmark(result: dict, path: str | Path, section: str) -> Path:
+    """Merge one section (``"flood"`` or ``"benign"``) into a BENCH file.
+
+    ``BENCH_sim.json`` holds one object per workload so flood and benign
+    sweeps can be (re)run independently without clobbering each other.
+    Legacy files that held the flood result at top level are upgraded in
+    place; unparseable files are overwritten rather than crashed on.
+    """
+    path = Path(path)
+    payload: dict = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            existing = None
+        if isinstance(existing, dict):
+            if "flood" in existing or "benign" in existing:
+                payload = existing
+            elif "runs" in existing:
+                payload = {"flood": existing}
+    payload[section] = result
+    path.write_text(json.dumps(payload, indent=2) + "\n")
     return path
 
 

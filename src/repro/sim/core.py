@@ -51,22 +51,30 @@ class Event:
     cancelled: bool = False
     _sim: "Simulator | None" = field(default=None, repr=False)
     _in_heap: bool = field(default=False, repr=False)
+    # Cached (time, priority, seq); none of those fields ever mutate
+    # after construction, and the heap compares events O(log n) times
+    # per push/pop — rebuilding the tuple per comparison dominated the
+    # kernel's profile before it was cached here.
+    _key: tuple = field(default=(), repr=False)
+
+    def __post_init__(self) -> None:
+        self._key = (self.time, self.priority, self.seq)
 
     def sort_key(self) -> tuple[float, int, int]:
         """The deterministic total order the event heap uses."""
-        return (self.time, self.priority, self.seq)
+        return self._key
 
     def __lt__(self, other: "Event") -> bool:
-        return self.sort_key() < other.sort_key()
+        return self._key < other._key
 
     def __le__(self, other: "Event") -> bool:
-        return self.sort_key() <= other.sort_key()
+        return self._key <= other._key
 
     def __gt__(self, other: "Event") -> bool:
-        return self.sort_key() > other.sort_key()
+        return self._key > other._key
 
     def __ge__(self, other: "Event") -> bool:
-        return self.sort_key() >= other.sort_key()
+        return self._key >= other._key
 
     def cancel(self) -> None:
         """Prevent the event from running; the owning simulator reclaims

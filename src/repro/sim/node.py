@@ -175,13 +175,19 @@ class Node:
         self.packets_sent += 1
         return iface.device.send(packet, dst_mac)
 
-    def send_ipv4_batch(self, batch: PacketBatch) -> int:
+    def send_ipv4_batch(self, batch: PacketBatch, on_accepted=None) -> int:
         """Route and transmit a whole batch; returns frames accepted.
 
         The batch is partitioned by ``(interface, next_hop)`` — for flood
         traffic every packet shares one destination, so the common case is
         a single train.  Unroutable rows are counted and dropped exactly
         as the scalar path does.
+
+        ``on_accepted(sub, taken)`` (optional) fires once per routed
+        group with the sub-batch and how many of its leading frames the
+        device queue accepted — queues take prefixes, so a caller that
+        needs exact per-packet accounting (TCP goodput) can sum the
+        accepted head of each group rather than guessing from the total.
         """
         n = len(batch)
         if n == 0:
@@ -205,7 +211,10 @@ class Node:
                 dst_mac = BROADCAST_MAC
                 unresolved = True
             self.packets_sent += len(sub)
-            accepted += iface.device.send_batch(sub, dst_mac, unresolved=unresolved)
+            taken = iface.device.send_batch(sub, dst_mac, unresolved=unresolved)
+            accepted += taken
+            if on_accepted is not None:
+                on_accepted(sub, taken)
         return accepted
 
     def _route_batch(
@@ -281,17 +290,28 @@ class Node:
         local_values = [iface.address.value for iface in self.interfaces]
         bcast_values = [iface.network.broadcast.value for iface in self.interfaces]
         bcast_values.append(ANY_ADDRESS.value)
-        mine = np.isin(dst, local_values) | np.isin(dst, bcast_values)
-        if not mine.any():
-            if self.is_router:
-                self._forward_batch(batch)
-            return
-        if mine.all():
-            sub = batch
+        dst0 = int(dst[0])
+        if int(dst[-1]) == dst0 and bool((dst == dst0).all()):
+            # Uniform destination — the shape of every socket-to-socket
+            # train — needs two list membership tests, not np.isin.
+            if dst0 in local_values or dst0 in bcast_values:
+                sub = batch
+            else:
+                if self.is_router:
+                    self._forward_batch(batch)
+                return
         else:
-            if self.is_router:
-                self._forward_batch(batch.compress(~mine))
-            sub = batch.compress(mine)
+            mine = np.isin(dst, local_values) | np.isin(dst, bcast_values)
+            if not mine.any():
+                if self.is_router:
+                    self._forward_batch(batch)
+                return
+            if mine.all():
+                sub = batch
+            else:
+                if self.is_router:
+                    self._forward_batch(batch.compress(~mine))
+                sub = batch.compress(mine)
         self.packets_received += len(sub)
         if batch.protocol == PROTO_TCP:
             self.tcp.receive_batch(sub)

@@ -280,6 +280,24 @@ def _column(value: object, n: int) -> np.ndarray:
     return arr
 
 
+def _object_column(value: object, n: int) -> tuple | None:
+    """Coerce an optional per-row object sequence into a tuple of length ``n``."""
+    if value is None:
+        return None
+    values = tuple(value)  # type: ignore[call-overload]
+    if len(values) != n:
+        raise ValueError(f"object column length {len(values)} != {n}")
+    return values
+
+
+def _take_objects(values: tuple, selector: object, n: int) -> tuple:
+    """Apply a numpy-style selector (slice/mask/indices) to a tuple column."""
+    if isinstance(selector, slice):
+        return values[selector]
+    indices = np.arange(n)[selector]
+    return tuple(values[int(i)] for i in indices)
+
+
 @dataclass(slots=True)
 class PacketBatch:
     """Struct-of-arrays view of many same-shaped packets (the flood path).
@@ -294,6 +312,12 @@ class PacketBatch:
     IP addresses are stored as raw 32-bit values (``Ipv4Address.value``)
     and MACs as shared scalars — flood frames from one device always carry
     one ``(src_mac, dst_mac)`` pair.
+
+    The benign plane additionally threads literal payload bytes and
+    application metadata through ``payloads``/``app_data``: optional
+    per-row tuple columns that materialise back onto scalar
+    :class:`Packet` rows bit-for-bit (``None`` means every row has an
+    empty payload / no app metadata, the flood-path common case).
     """
 
     protocol: int
@@ -310,6 +334,8 @@ class PacketBatch:
     src_mac: MacAddress | None = None
     dst_mac: MacAddress | None = None
     unresolved: bool = False
+    payloads: tuple | None = None
+    app_data: tuple | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -329,6 +355,8 @@ class PacketBatch:
         payload_len: object = 0,
         ttl: int = 64,
         provenance: Provenance = BENIGN,
+        payloads: object = None,
+        app_data: object = None,
     ) -> "PacketBatch":
         return cls(
             protocol=PROTO_TCP,
@@ -342,6 +370,8 @@ class PacketBatch:
             flags=flags,
             ttl=ttl,
             provenance=provenance,
+            payloads=_object_column(payloads, n),
+            app_data=_object_column(app_data, n),
         )
 
     @classmethod
@@ -356,6 +386,8 @@ class PacketBatch:
         payload_len: object = 0,
         ttl: int = 64,
         provenance: Provenance = BENIGN,
+        payloads: object = None,
+        app_data: object = None,
     ) -> "PacketBatch":
         return cls(
             protocol=PROTO_UDP,
@@ -366,6 +398,8 @@ class PacketBatch:
             payload_len=_column(payload_len, n),
             ttl=ttl,
             provenance=provenance,
+            payloads=_object_column(payloads, n),
+            app_data=_object_column(app_data, n),
         )
 
     # ------------------------------------------------------------------
@@ -412,6 +446,8 @@ class PacketBatch:
             src_mac=self.src_mac,
             dst_mac=self.dst_mac,
             unresolved=self.unresolved,
+            payloads=self.payloads,
+            app_data=self.app_data,
         )
         kwargs.update(overrides)
         return PacketBatch(**kwargs)  # type: ignore[arg-type]
@@ -433,6 +469,7 @@ class PacketBatch:
         return self._replace_columns(ttl=ttl, src_mac=None, dst_mac=None)
 
     def _index(self, selector: object) -> "PacketBatch":
+        n = len(self)
         return self._replace_columns(
             src_ip=self.src_ip[selector],
             dst_ip=self.dst_ip[selector],
@@ -441,6 +478,16 @@ class PacketBatch:
             payload_len=self.payload_len[selector],
             seq=None if self.seq is None else self.seq[selector],
             ack=None if self.ack is None else self.ack[selector],
+            payloads=(
+                None
+                if self.payloads is None
+                else _take_objects(self.payloads, selector, n)
+            ),
+            app_data=(
+                None
+                if self.app_data is None
+                else _take_objects(self.app_data, selector, n)
+            ),
         )
 
     def slice(self, start: int, stop: int | None = None) -> "PacketBatch":
@@ -486,14 +533,22 @@ class PacketBatch:
         eth = None
         if self.src_mac is not None and self.dst_mac is not None:
             eth = EthernetHeader(src=self.src_mac, dst=self.dst_mac)
+        app_data: object | None
+        if self.unresolved:
+            app_data = UNRESOLVED_MARKER
+        elif self.app_data is not None:
+            app_data = self.app_data[i]
+        else:
+            app_data = None
         return Packet(
             eth=eth,
             ip=ip,
             tcp=tcp,
             udp=udp,
+            payload=b"" if self.payloads is None else self.payloads[i],
             payload_len=int(self.payload_len[i]),
             provenance=self.provenance,
-            app_data=UNRESOLVED_MARKER if self.unresolved else None,
+            app_data=app_data,
         )
 
     def packets(self) -> Iterator[Packet]:

@@ -66,7 +66,7 @@ class TcpState(enum.Enum):
 ConnKey = tuple[int, int, int, int]  # local ip, local port, remote ip, remote port
 
 
-@dataclass
+@dataclass(slots=True)
 class _SendItem:
     seq: int
     length: int
@@ -318,6 +318,9 @@ class TcpSocket:
     * ``on_data(sock, payload, length, app_data)`` — an in-order segment
       arrived; ``length`` counts virtual payload bytes, ``payload`` holds
       the literal bytes (may be shorter for virtual bulk data);
+    * ``on_data_batch(sock, batch)`` — an in-order *train* of data
+      segments arrived at once (batch delivery); when unset, the train
+      falls back to one ``on_data`` call per segment;
     * ``on_close(sock)`` — peer finished sending (FIN received);
     * ``on_reset(sock)`` — connection aborted.
     """
@@ -338,14 +341,17 @@ class TcpSocket:
         self.provenance: Provenance | None = None
         self.on_established: Callable[[TcpSocket], None] | None = None
         self.on_data: Callable[[TcpSocket, bytes, int, object | None], None] | None = None
+        self.on_data_batch: Callable[[TcpSocket, PacketBatch], None] | None = None
         self.on_close: Callable[[TcpSocket], None] | None = None
         self.on_reset: Callable[[TcpSocket], None] | None = None
         self._unsent: deque[_SendItem] = deque()
         self._inflight: deque[_SendItem] = deque()
+        self._inflight_bytes = 0  # running sum, updated at every append/pop
         self._retx_event: Event | None = None
         self._retries = 0
         self._rto = RTO_INITIAL
         self._fin_queued = False
+        self._pump_deferred = False
         self._handshake_span = None
 
     # ------------------------------------------------------------------
@@ -390,6 +396,7 @@ class TcpSocket:
         if total <= 0:
             total = max(total, 1)  # zero-length app messages still need a segment
         offset = 0
+        ack_psh = TcpFlags.ACK | TcpFlags.PSH  # hoisted: enum | is not free
         while offset < total:
             chunk = min(MSS, total - offset)
             literal = payload[offset : offset + chunk]
@@ -399,7 +406,12 @@ class TcpSocket:
                     seq=0,  # assigned at transmission
                     length=chunk,
                     payload=literal,
-                    flags=TcpFlags.ACK | (TcpFlags.PSH if is_last else TcpFlags(0)),
+                    # The whole buffer was pushed by one application
+                    # write, so every segment carries PSH (as stacks
+                    # that map one write to one push do).  Keeping the
+                    # message flag-uniform also lets a send window leave
+                    # as a single train instead of train + scalar tail.
+                    flags=ack_psh,
                     app_data=app_data if is_last else None,
                 )
             )
@@ -421,7 +433,7 @@ class TcpSocket:
 
     @property
     def inflight_bytes(self) -> int:
-        return sum(item.length for item in self._inflight)
+        return self._inflight_bytes
 
     @property
     def writable(self) -> bool:
@@ -435,13 +447,26 @@ class TcpSocket:
     # Segment transmission
 
     def _pump(self) -> None:
-        """Transmit queued segments up to the send window."""
+        """Transmit queued segments up to the send window.
+
+        In batch mode (``stack.batch_segments``) the window's worth of
+        segments is collected first and emitted as flag-uniform
+        :class:`PacketBatch` trains — per-packet content identical to the
+        scalar emissions, in the same queue order.
+        """
+        pending: list[_SendItem] | None = [] if self.stack.batch_segments else None
         while self._unsent and self.inflight_bytes < SEND_WINDOW_BYTES:
             item = self._unsent.popleft()
             item.seq = self.snd_nxt
             self.snd_nxt = (self.snd_nxt + item.length) & 0xFFFFFFFF
             self._inflight.append(item)
-            self._transmit(item)
+            self._inflight_bytes += item.length
+            if pending is None:
+                self._transmit(item)
+            else:
+                pending.append(item)
+        if pending:
+            self._flush_pending(pending)
         if (
             self._fin_queued
             and not self._unsent
@@ -475,6 +500,55 @@ class TcpSocket:
             payload_len=item.length,
             app_data=item.app_data,
             provenance=self.provenance,
+        )
+
+    def _flush_pending(self, items: list[_SendItem]) -> None:
+        """Emit collected segments as maximal flag-uniform trains.
+
+        A bulk ``send()`` queues N-1 plain ACK segments and one final
+        ACK|PSH carrier, so the common emission is one long train plus a
+        scalar tail; singleton runs go through the scalar twin untouched.
+        """
+        i = 0
+        n = len(items)
+        while i < n:
+            j = i + 1
+            while j < n and items[j].flags == items[i].flags:
+                j += 1
+            if j - i >= 2:
+                self._transmit_batch(items[i:j])
+            else:
+                self._transmit(items[i])
+            i = j
+
+    def _transmit_batch(self, items: list[_SendItem]) -> None:
+        """Emit a flag-uniform segment run as one PacketBatch train."""
+        if not items:
+            return
+        assert self.remote_address is not None and self.remote_port is not None
+        self.bytes_sent += sum(item.length for item in items)
+        payloads = None
+        if any(item.payload for item in items):
+            payloads = tuple(item.payload for item in items)
+        app_data = None
+        if any(item.app_data is not None for item in items):
+            app_data = tuple(item.app_data for item in items)
+        prov = self.provenance or self.stack.default_provenance
+        self.stack.send_segment_batch(
+            PacketBatch.tcp_batch(
+                len(items),
+                src_ip=self.stack.node.address.value,
+                dst_ip=self.remote_address.value,
+                src_port=self.local_port,
+                dst_port=self.remote_port,
+                seq=[item.seq for item in items],
+                ack=self.rcv_nxt,
+                flags=items[0].flags,
+                payload_len=[item.length for item in items],
+                provenance=prov if prov is not None else Provenance(),
+                payloads=payloads,
+                app_data=app_data,
+            )
         )
 
     def _send_flags(self, flags: TcpFlags, seq: int | None = None) -> None:
@@ -560,10 +634,162 @@ class TcpSocket:
         if tcp.flags & TcpFlags.FIN:
             self._process_fin(tcp.seq)
 
+    def handle_batch(self, batch: PacketBatch) -> None:
+        """Consume a train of segments addressed to this connection.
+
+        The fast path covers the bulk-transfer case — ESTABLISHED state
+        and pure ``ACK``/``ACK|PSH`` flags: acknowledgements process
+        per row (identical window bookkeeping to the scalar twin), the
+        per-row ACK replies coalesce into one response train carrying
+        exactly the scalar per-packet ``(seq, ack)`` values, and the
+        in-order data rows deliver to the app as one ``on_data_batch``
+        call (or per-row ``on_data`` when no batch callback is set).
+        Anything else — handshakes, FIN/RST, mid-close races — falls
+        back to per-packet handling.
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        flags = batch.flags
+        if (
+            self.state is not TcpState.ESTABLISHED
+            or batch.seq is None
+            or batch.ack is None
+            or flags & (TcpFlags.SYN | TcpFlags.RST | TcpFlags.FIN)
+            or not flags & TcpFlags.ACK
+        ):
+            for packet in batch.packets():
+                self.handle(packet)
+            return
+        seqs = batch.seq
+        acks = batch.ack
+        lens = batch.payload_len
+        # Columnar fast paths.  ``_process_ack`` is purely cumulative
+        # (pops below the ack, overwrites snd_una, no RTT estimator), so
+        # a non-decreasing ACK column collapses to one call with the
+        # final ack — bit-identical end state to the row loop.
+        if n > 1 and bool((np.diff(acks) >= 0).all()):
+            if not bool((lens > 0).any()):
+                # Pure ACK train: the receiver's coalesced window acks.
+                self._pump_deferred = True
+                try:
+                    self._process_ack(int(acks[-1]))
+                finally:
+                    self._pump_deferred = False
+                self._pump()
+                return
+            if bool((lens > 0).all()):
+                shifted = np.concatenate(
+                    (np.zeros(1, dtype=np.int64), np.cumsum(lens[:-1], dtype=np.int64))
+                )
+                expected = (int(self.rcv_nxt) + shifted) & np.int64(0xFFFFFFFF)
+                if bool((seqs == expected).all()):
+                    # In-order contiguous data train: advance the window
+                    # once, build the per-row ack replies columnar (the
+                    # exact (snd_nxt, running rcv_nxt) pairs the scalar
+                    # loop would emit — snd_nxt cannot move while the
+                    # pump is deferred), and deliver rows in one call.
+                    self._pump_deferred = True
+                    try:
+                        self._process_ack(int(acks[-1]))
+                    finally:
+                        self._pump_deferred = False
+                    ack_ack_col = ((expected + lens) & np.int64(0xFFFFFFFF)).tolist()
+                    ack_seq_col = [self.snd_nxt] * n
+                    total = int(lens.sum())
+                    self.rcv_nxt = (int(self.rcv_nxt) + total) & 0xFFFFFFFF
+                    self.bytes_received += total
+                    self._pump()
+                    self._flush_ack_train(ack_seq_col, ack_ack_col)
+                    self._deliver_rows(batch, list(range(n)))
+                    return
+        ack_seq: list[int] = []
+        ack_ack: list[int] = []
+        deliver: list[int] = []
+        # Defer the per-ACK pump: row-by-row pumping would reopen the
+        # send window one MSS at a time and dribble out single-segment
+        # "trains".  Processing the whole ACK train first and pumping
+        # once emits the next full window as one train — same segments,
+        # same bytes, one emission.
+        self._pump_deferred = True
+        try:
+            for i in range(n):
+                self._process_ack(int(acks[i]))
+                length = int(lens[i])
+                if length <= 0:
+                    continue
+                if self.state in (TcpState.TIME_WAIT, TcpState.CLOSED, TcpState.LAST_ACK):
+                    # Data after our close: flush what the wire already owes
+                    # (the coalesced ACKs), then abort as the scalar twin
+                    # would on this row.
+                    self._flush_ack_train(ack_seq, ack_ack)
+                    self._deliver_rows(batch, deliver)
+                    self.abort()
+                    return
+                if int(seqs[i]) != self.rcv_nxt:
+                    # Duplicate (retransmitted but already received); re-ack.
+                    ack_seq.append(self.snd_nxt)
+                    ack_ack.append(self.rcv_nxt)
+                    continue
+                self.rcv_nxt = (self.rcv_nxt + length) & 0xFFFFFFFF
+                self.bytes_received += length
+                ack_seq.append(self.snd_nxt)
+                ack_ack.append(self.rcv_nxt)
+                deliver.append(i)
+        finally:
+            self._pump_deferred = False
+        self._pump()
+        self._flush_ack_train(ack_seq, ack_ack)
+        self._deliver_rows(batch, deliver)
+
+    def _flush_ack_train(self, ack_seq: list[int], ack_ack: list[int]) -> None:
+        """Emit the coalesced per-row ACK replies as one train."""
+        if not ack_seq:
+            return
+        assert self.remote_address is not None and self.remote_port is not None
+        if len(ack_seq) == 1:
+            self.stack.send_segment(
+                src_port=self.local_port,
+                dst=self.remote_address,
+                dst_port=self.remote_port,
+                seq=ack_seq[0],
+                ack=ack_ack[0],
+                flags=TcpFlags.ACK,
+                provenance=self.provenance,
+            )
+            return
+        prov = self.provenance or self.stack.default_provenance
+        self.stack.send_segment_batch(
+            PacketBatch.tcp_batch(
+                len(ack_seq),
+                src_ip=self.stack.node.address.value,
+                dst_ip=self.remote_address.value,
+                src_port=self.local_port,
+                dst_port=self.remote_port,
+                seq=ack_seq,
+                ack=ack_ack,
+                flags=TcpFlags.ACK,
+                provenance=prov if prov is not None else Provenance(),
+            )
+        )
+
+    def _deliver_rows(self, batch: PacketBatch, rows: list[int]) -> None:
+        """Hand delivered in-order data rows to the application."""
+        if not rows:
+            return
+        sub = batch if len(rows) == len(batch) else batch.take(
+            np.asarray(rows, dtype=np.int64)
+        )
+        if self.on_data_batch is not None:
+            self.on_data_batch(self, sub)
+        elif self.on_data is not None:
+            for packet in sub.packets():
+                self.on_data(self, packet.payload, packet.data_len, packet.app_data)
+
     def _process_ack(self, ack: int) -> None:
         acked = False
         while self._inflight and _seq_lt(self._inflight[0].seq, ack):
-            self._inflight.popleft()
+            self._inflight_bytes -= self._inflight.popleft().length
             acked = True
         self.snd_una = ack
         if acked:
@@ -579,7 +805,8 @@ class TcpSocket:
                 self._teardown()
             elif not self._fin_queued and not self._unsent:
                 self._disarm_retx()
-        self._pump()
+        if not self._pump_deferred:
+            self._pump()
 
     def _process_data(self, packet: Packet) -> None:
         assert packet.tcp is not None
@@ -627,6 +854,7 @@ class TcpSocket:
         self.state = TcpState.CLOSED
         self._unsent.clear()
         self._inflight.clear()
+        self._inflight_bytes = 0
         self.stack.deregister(self)
 
 
@@ -643,6 +871,9 @@ class TcpStack:
         self.rst_sent = 0
         self.payload_bytes_sent = 0  # monotone app-byte counter (goodput)
         self.default_provenance: Provenance | None = None
+        #: When set, socket send windows emit PacketBatch trains instead
+        #: of per-segment events (the benign-plane batch path).
+        self.batch_segments = False
         ctx = obs.current()
         self._obs_tracer = ctx.tracer
         self._obs_retx = ctx.registry.counter("tcp.retransmissions", node=node.name)
@@ -767,18 +998,38 @@ class TcpStack:
         flags = batch.flags
         unhandled = np.ones(n, dtype=bool)
         if self.sockets:
-            remote_keys = [
-                (key[2] << 16) | key[3]
-                for key in self.sockets
-                if key[0] == dst0 and key[1] == port0
-            ]
-            if remote_keys:
-                encoded = (batch.src_ip << np.int64(16)) | batch.src_port
-                hits = np.isin(encoded, np.asarray(remote_keys, dtype=np.int64))
-                if hits.any():
-                    for i in np.flatnonzero(hits).tolist():
-                        self.receive(batch.packet(i))
-                    unhandled &= ~hits
+            src0 = int(batch.src_ip[0])
+            sport0 = int(batch.src_port[0])
+            if (
+                int(batch.src_ip[-1]) == src0
+                and int(batch.src_port[-1]) == sport0
+                and bool((batch.src_ip == src0).all())
+                and bool((batch.src_port == sport0).all())
+            ):
+                # Uniform remote endpoint — every benign bulk-transfer
+                # train — resolves with one dict probe instead of an
+                # np.isin sweep over the connection table.
+                sock = self.sockets.get((dst0, port0, src0, sport0))
+                if sock is not None:
+                    if n == 1:
+                        self.receive(batch.packet(0))
+                    else:
+                        sock.handle_batch(batch)
+                    return
+            else:
+                remote_keys = [
+                    (key[2] << 16) | key[3]
+                    for key in self.sockets
+                    if key[0] == dst0 and key[1] == port0
+                ]
+                if remote_keys:
+                    encoded = (batch.src_ip << np.int64(16)) | batch.src_port
+                    hits = np.isin(encoded, np.asarray(remote_keys, dtype=np.int64))
+                    if hits.any():
+                        self._dispatch_socket_runs(
+                            batch, np.flatnonzero(hits), encoded, dst0, port0
+                        )
+                        unhandled &= ~hits
         if not unhandled.any():
             return
         listener = self.listeners.get(port0)
@@ -821,22 +1072,56 @@ class TcpStack:
             )
         )
 
+    def _dispatch_socket_runs(
+        self,
+        batch: PacketBatch,
+        hit_idx: np.ndarray,
+        encoded: np.ndarray,
+        dst0: int,
+        port0: int,
+    ) -> None:
+        """Deliver established-socket rows, grouping consecutive runs.
+
+        Rows from one remote endpoint arriving back to back — the shape
+        of every bulk-transfer train — reach the socket as a single
+        :meth:`TcpSocket.handle_batch` call; isolated rows keep the
+        scalar materialise-and-receive path.  Sockets are re-looked-up
+        per run because an earlier run may tear its connection down.
+        """
+        enc = encoded[hit_idx]
+        starts = [0] + (np.flatnonzero(enc[1:] != enc[:-1]) + 1).tolist()
+        starts.append(int(enc.shape[0]))
+        rows = hit_idx.tolist()
+        for a, b in zip(starts[:-1], starts[1:]):
+            if b - a == 1:
+                self.receive(batch.packet(rows[a]))
+                continue
+            remote = int(enc[a])
+            key: ConnKey = (dst0, port0, remote >> 16, remote & 0xFFFF)
+            sock = self.sockets.get(key)
+            if sock is None:
+                for i in rows[a:b]:
+                    self.receive(batch.packet(i))
+                continue
+            sock.handle_batch(batch.take(hit_idx[a:b]))
+
     def send_segment_batch(self, batch: PacketBatch) -> int:
         """Route a pre-built TCP train; returns frames accepted.
 
-        Goodput accounting mirrors the scalar path: accepted frames add
-        their payload lengths (queues accept batch prefixes, so the head
-        sum is exact for single-destination trains).
+        Goodput accounting mirrors the scalar path exactly: each routed
+        group reports how many of its leading frames the device queue
+        accepted (queues take prefixes), and only those frames' payload
+        bytes count — so batched TCP deliveries add to the victim's
+        goodput columns once per packet, never once per train.
         """
         if len(batch) == 0:
             return 0
-        accepted = self.node.send_ipv4_batch(batch)
-        if accepted:
-            if accepted == len(batch):
-                self.payload_bytes_sent += int(batch.payload_len.sum())
-            else:
-                self.payload_bytes_sent += int(batch.payload_len[:accepted].sum())
-        return accepted
+
+        def _account(sub: PacketBatch, taken: int) -> None:
+            if taken:
+                self.payload_bytes_sent += int(sub.payload_len[:taken].sum())
+
+        return self.node.send_ipv4_batch(batch, on_accepted=_account)
 
     def send_segment(
         self,

@@ -11,9 +11,8 @@ readable by Wireshark/tcpdump (DDoSim's external-analysis workflow).
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterator
+from typing import Callable, Iterator, NamedTuple
 
 import numpy as np
 
@@ -23,13 +22,17 @@ PCAP_MAGIC = 0xA1B2C3D2  # nanosecond-resolution variant
 PCAP_LINKTYPE_ETHERNET = 1
 
 
-@dataclass(frozen=True, slots=True)
-class PacketRecord:
+class PacketRecord(NamedTuple):
     """One captured packet, flattened for feature extraction.
 
     ``label`` is ground truth taken from packet provenance (which process
     emitted it) — never from anything the wire carries — and is used only
     for training labels and accuracy scoring.
+
+    A named tuple rather than a dataclass: captures materialise millions
+    of rows per run, and tuple construction is the difference between
+    the probe dominating a batched run's profile and disappearing from
+    it.  Field access, keyword construction, and equality are unchanged.
     """
 
     timestamp: float
@@ -105,6 +108,16 @@ class PacketProbe:
 
     Optional ``sink`` callbacks receive each record as it is captured —
     this is how the real-time IDS subscribes to live traffic.
+
+    Train captures are **lazily materialised**: with no live sinks,
+    ``observe_batch`` stashes the train's columns and row objects are
+    only built when :attr:`records` is read.  A multi-minute batched run
+    therefore pays list conversions inside the simulation loop but
+    defers the per-row tuple constructions — the capture's dominant
+    cost — to analysis time, where the same work is no longer on the
+    simulator's critical path.  Row order is exactly scalar-equivalent:
+    any scalar capture (or a sink subscription) flushes pending trains
+    first.
     """
 
     def __init__(
@@ -112,11 +125,36 @@ class PacketProbe:
         pcap: "PcapWriter | None" = None,
         keep_records: bool = True,
     ) -> None:
-        self.records: list[PacketRecord] = []
+        self._records: list[PacketRecord] = []
+        self._pending: list[tuple] = []
         self.pcap = pcap
         self.keep_records = keep_records
         self.sinks: list[Callable[[PacketRecord], None]] = []
         self.count = 0
+
+    @property
+    def records(self) -> list[PacketRecord]:
+        """Captured rows, materialising any pending trains first."""
+        if self._pending:
+            self._flush_pending()
+        return self._records
+
+    @staticmethod
+    def _rows(columns: tuple) -> list[PacketRecord]:
+        times, srcs, dsts, sports, dports, sizes, seqs, protocol, flags, label, attack = columns
+        return [
+            PacketRecord(
+                ts, src, dst, protocol, sport, dport, size, flags, seq, label, attack
+            )
+            for ts, src, dst, sport, dport, size, seq in zip(
+                times, srcs, dsts, sports, dports, sizes, seqs
+            )
+        ]
+
+    def _flush_pending(self) -> None:
+        pending, self._pending = self._pending, []
+        for columns in pending:
+            self._records.extend(self._rows(columns))
 
     def __call__(self, packet: Packet, timestamp: float) -> None:
         if packet.ip is None:
@@ -124,7 +162,9 @@ class PacketProbe:
         record = PacketRecord.from_packet(packet, timestamp)
         self.count += 1
         if self.keep_records:
-            self.records.append(record)
+            if self._pending:
+                self._flush_pending()
+            self._records.append(record)
         if self.pcap is not None:
             self.pcap.write(packet, timestamp)
         for sink in self.sinks:
@@ -136,7 +176,8 @@ class PacketProbe:
         Produces the same :class:`PacketRecord` rows, in the same order,
         as ``n`` scalar calls would — but builds them from the batch's
         int64 columns without materialising packets (unless a pcap writer
-        needs the wire bytes).
+        needs the wire bytes), and defers even the row objects until
+        :attr:`records` is read when no live sink needs them now.
         """
         n = len(batch)
         if n == 0:
@@ -144,43 +185,35 @@ class PacketProbe:
         self.count += n
         if self.keep_records or self.sinks:
             flags = int(batch.flags) if batch.protocol == PROTO_TCP else 0
-            label = 1 if batch.provenance.malicious else 0
-            attack = batch.provenance.attack
-            protocol = batch.protocol
             seq_col = (
                 batch.seq.tolist()
                 if (batch.protocol == PROTO_TCP and batch.seq is not None)
                 else [0] * n
             )
-            records = [
-                PacketRecord(
-                    timestamp=ts,
-                    src_ip=src,
-                    dst_ip=dst,
-                    protocol=protocol,
-                    src_port=sport,
-                    dst_port=dport,
-                    size=size,
-                    tcp_flags=flags,
-                    seq=seq,
-                    label=label,
-                    attack=attack,
-                )
-                for ts, src, dst, sport, dport, size, seq in zip(
-                    times.tolist(),
-                    batch.src_ip.tolist(),
-                    batch.dst_ip.tolist(),
-                    batch.src_port.tolist(),
-                    batch.dst_port.tolist(),
-                    batch.sizes.tolist(),
-                    seq_col,
-                )
-            ]
-            if self.keep_records:
-                self.records.extend(records)
-            for sink in self.sinks:
-                for record in records:
-                    sink(record)
+            columns = (
+                times.tolist(),
+                batch.src_ip.tolist(),
+                batch.dst_ip.tolist(),
+                batch.src_port.tolist(),
+                batch.dst_port.tolist(),
+                batch.sizes.tolist(),
+                seq_col,
+                batch.protocol,
+                flags,
+                1 if batch.provenance.malicious else 0,
+                batch.provenance.attack,
+            )
+            if self.sinks:
+                records = self._rows(columns)
+                if self.keep_records:
+                    if self._pending:
+                        self._flush_pending()
+                    self._records.extend(records)
+                for sink in self.sinks:
+                    for record in records:
+                        sink(record)
+            elif self.keep_records:
+                self._pending.append(columns)
         if self.pcap is not None:
             for i in range(n):
                 self.pcap.write(batch.packet(i), float(times[i]))
@@ -189,7 +222,8 @@ class PacketProbe:
         self.sinks.append(sink)
 
     def clear(self) -> None:
-        self.records.clear()
+        self._records.clear()
+        self._pending.clear()
 
 
 class PcapWriter:

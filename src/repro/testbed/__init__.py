@@ -10,6 +10,7 @@ real-time-detect flows behind every benchmark.
 """
 
 from repro.testbed.builder import Testbed
+from repro.testbed.catalog import CATALOG, get_scenario, list_scenarios
 from repro.testbed.impact import ImpactSample, ImpactSeries, VictimMonitor, attach_victim_monitor
 from repro.testbed.experiment import (
     ExperimentResult,
@@ -27,7 +28,10 @@ from repro.testbed.scenario import AttackPhase, Scenario
 
 __all__ = [
     "AttackPhase",
+    "CATALOG",
     "ExperimentResult",
+    "get_scenario",
+    "list_scenarios",
     "MitigationPlan",
     "RecoveryMetrics",
     "FaultExperimentResult",

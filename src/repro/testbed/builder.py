@@ -143,13 +143,23 @@ class Testbed:
         scenario = self.scenario
         self.tserver = self.orchestrator.run("tserver", Image("ddoshield/tserver"))
         self.http = self.tserver.exec(HttpServer(seed=scenario.seed + 100))
-        self.ftp = self.tserver.exec(FtpServer(seed=scenario.seed + 200))
+        self.ftp = self.tserver.exec(
+            FtpServer(
+                seed=scenario.seed + 200,
+                min_file_bytes=scenario.ftp_min_file_bytes,
+                max_file_bytes=scenario.ftp_max_file_bytes,
+            )
+        )
         self.rtmp = self.tserver.exec(
-            RtmpServer(bitrate_bps=scenario.rtmp_bitrate_bps)
+            RtmpServer(
+                bitrate_bps=scenario.rtmp_bitrate_bps,
+                chunk_interval=scenario.rtmp_chunk_interval,
+            )
         )
         self.dns = self.tserver.exec(DnsServer())
         self.ntp = self.tserver.exec(NtpServer())
         self.tserver.node.tcp.seed(scenario.seed + 1)
+        self.tserver.node.tcp.batch_segments = scenario.batch_benign
 
         self.attacker = self.orchestrator.run("attacker", Image("ddoshield/attacker"))
         self.attacker.node.tcp.seed(scenario.seed + 2)
@@ -173,6 +183,7 @@ class Testbed:
         for i in range(scenario.n_devices):
             dev = self.orchestrator.run(f"dev-{i}", Image("ddoshield/dev"))
             dev.node.tcp.seed(scenario.seed + 10 + i)
+            dev.node.tcp.batch_segments = scenario.batch_benign
             user, password = random_credential(scenario.seed * 1000 + i)
             telnet = VulnerableTelnet(
                 user, password, on_infected=self._make_infection_hook(dev, i)
@@ -194,6 +205,11 @@ class Testbed:
                     mean_dns_interval=scenario.mean_dns_interval,
                     seed=scenario.seed * 77 + i,
                     start_delay=self._rng.uniform(0.0, 1.0),
+                    # Look ahead ~4 expected arrivals per tick so batch
+                    # mode forms real trains; scalar emissions keep their
+                    # exact arrival instants regardless of the tick.
+                    tick=4.0 * scenario.mean_dns_interval,
+                    batch=scenario.batch_benign,
                 )
             )
             self.devices.append(dev)
@@ -531,6 +547,4 @@ class Testbed:
 
 
 def _rebase(record, base: float):
-    from dataclasses import replace
-
-    return replace(record, timestamp=record.timestamp - base)
+    return record._replace(timestamp=record.timestamp - base)

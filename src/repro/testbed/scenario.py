@@ -50,8 +50,11 @@ class Scenario:
     mean_session_interval: float = 7.0
     mean_dns_interval: float = 2.0
     rtmp_bitrate_bps: float = 200_000.0
+    rtmp_chunk_interval: float = 0.1
     rtmp_min_duration: float = 4.0
     rtmp_max_duration: float = 10.0
+    ftp_min_file_bytes: int = 50_000
+    ftp_max_file_bytes: int = 400_000
     http_weight: float = 0.55
     ftp_weight: float = 0.15
     rtmp_weight: float = 0.30
@@ -61,6 +64,10 @@ class Scenario:
     # Flood emission: True makes bots emit PacketBatch trains (identical
     # per-seed packet counts and window verdicts, far fewer sim events).
     batch_floods: bool = False
+    # Benign-plane emission: True batches the benign side too — TCP send
+    # windows leave as PacketBatch trains and device chatter coalesces
+    # per-tick emissions (same per-packet traffic, far fewer sim events).
+    batch_benign: bool = False
     # Hierarchical topology: devices per leaf CSMA segment behind a
     # router on the backbone; 0 keeps the paper's flat single-segment
     # LAN (the seed-stable default).

@@ -272,3 +272,61 @@ class TestDeviceProfile:
         p1 = DeviceProfile(tserver.node.address, http.page_names(), ftp.file_names(), seed=1)
         p2 = DeviceProfile(tserver.node.address, http.page_names(), ftp.file_names(), seed=2)
         assert p1.rng.random() != p2.rng.random()
+
+
+class _RecordingProfile(DeviceProfile):
+    """DeviceProfile that logs each launch as (time, kind)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.launches = []
+
+    def _launch_session(self, kind):
+        self.launches.append((self.sim.now, kind))
+        super()._launch_session(kind)
+
+
+class TestDeviceProfileLookahead:
+    def _run(self, tick, until=60.0):
+        sim = Simulator()
+        lan = CsmaLan(sim)
+        orch = Orchestrator(sim, lan)
+        tserver = orch.run("tserver", Image("tserver"))
+        dev = orch.run("dev", Image("dev"))
+        http = tserver.exec(HttpServer(seed=9))
+        ftp = tserver.exec(FtpServer(seed=9))
+        tserver.exec(RtmpServer(bitrate_bps=100_000))
+        profile = dev.exec(
+            _RecordingProfile(
+                tserver.node.address,
+                http.page_names(),
+                ftp.file_names(),
+                mix=TrafficMix(mean_session_interval=1.0),
+                seed=13,
+                start_delay=0.4,
+                tick=tick,
+            )
+        )
+        sim.run(until=until)
+        return profile
+
+    def test_launch_instants_invariant_to_tick_choice(self):
+        """Sessions launch at exact Poisson arrival instants regardless of
+        how far ahead the anchored ticker books them — the tick is purely
+        a look-ahead bound, never a quantizer."""
+        narrow = self._run(tick=0.25)
+        wide = self._run(tick=4.0)
+        assert narrow.launches == wide.launches
+        assert narrow.sessions_started == wide.sessions_started
+        assert narrow.rng.getstate() == wide.rng.getstate()
+
+    def test_anchored_ticker_stays_drift_free(self):
+        """Tick k of the profile's ticker fires at exactly t0 + k*tick
+        (anchored multiples, no accumulated float drift)."""
+        profile = self._run(tick=0.5, until=30.0)
+        ticker = profile._ticker
+        base = 0.4  # start_delay; on_start ran at t=0
+        assert ticker.t0 == base
+        # the anchored schedule has consumed exactly the ticks that fit:
+        # tick k fires at t0 + (k+1)*interval, so 59 fit in 29.6s of 0.5s
+        assert ticker.ticks == int((30.0 - base) / 0.5)

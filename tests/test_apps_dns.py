@@ -3,6 +3,7 @@
 import pytest
 
 from repro.apps import DnsServer, NtpServer, UdpChatter
+from repro.apps.dns import DNS_PORT, NTP_PORT
 from repro.containers import Image, Orchestrator
 from repro.sim import CsmaLan, PacketProbe, Simulator
 
@@ -68,3 +69,126 @@ def test_deterministic_by_seed(env):
     a = UdpChatter(tserver.node.address, seed=5)
     b = UdpChatter(tserver.node.address, seed=5)
     assert a.rng.random() == b.rng.random()
+
+
+# ---------------------------------------------------------------------------
+# Look-ahead tick bit-exactness: the anchored ticker is a pure batching /
+# look-ahead knob.  Scalar emissions keep their exact Poisson arrival
+# instants for ANY tick, batch mode emits the same contents as trains,
+# and both modes consume the RNG identically.
+# ---------------------------------------------------------------------------
+
+
+class _RecordingChatter(UdpChatter):
+    """UdpChatter that logs every emission as (time, port, length, tag)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.emitted = []
+
+    def _emit_one(self, port, length, tag):
+        self.emitted.append((self.sim.now, port, length, tag))
+        super()._emit_one(port, length, tag)
+
+    def _emit_train(self, ports, lengths, tags):
+        self.emitted.extend(
+            (self.sim.now, p, ln, t) for p, ln, t in zip(ports, lengths, tags)
+        )
+        super()._emit_train(ports, lengths, tags)
+
+
+def _run_chatter(seed, *, batch, tick=None, until=40.0, delay=0.25):
+    import random as _random
+
+    from repro.sim import Simulator, CsmaLan
+    from repro.containers import Image, Orchestrator
+
+    sim = Simulator()
+    lan = CsmaLan(sim)
+    orch = Orchestrator(sim, lan)
+    tserver = orch.run("tserver", Image("ts"))
+    dev = orch.run("dev", Image("dev"))
+    tserver.exec(DnsServer())
+    tserver.exec(NtpServer())
+    chatter = dev.exec(
+        _RecordingChatter(
+            tserver.node.address,
+            mean_dns_interval=0.4,
+            mean_ntp_interval=1.5,
+            seed=seed,
+            start_delay=delay,
+            tick=tick,
+            batch=batch,
+        )
+    )
+    sim.run(until=until)
+    return chatter
+
+
+def _replay_poisson_chain(seed, *, mean_dns=0.4, mean_ntp=1.5, delay=0.25, until=40.0):
+    """Re-derive the merged DNS/NTP arrival chain exactly as _tick draws it."""
+    import random as _random
+
+    rng = _random.Random(seed)
+    t_dns = delay + rng.expovariate(1.0 / mean_dns)
+    t_ntp = delay + rng.expovariate(1.0 / mean_ntp)
+    out = []
+    while min(t_dns, t_ntp) <= until:
+        if t_dns <= t_ntp:
+            name = f"device-{rng.randrange(64)}.iot.example"
+            out.append((t_dns, DNS_PORT, 30 + len(name), ("dns", name)))
+            t_dns += rng.expovariate(1.0 / mean_dns)
+        else:
+            out.append((t_ntp, NTP_PORT, 48, ("ntp", "req")))
+            t_ntp += rng.expovariate(1.0 / mean_ntp)
+    return out
+
+
+def test_scalar_emissions_land_at_exact_poisson_instants():
+    """Look-ahead booking never quantizes: every scalar datagram leaves at
+    the exact arrival instant of the old self-rescheduling chain."""
+    chatter = _run_chatter(11, batch=False)
+    expected = _replay_poisson_chain(11)
+    got = chatter.emitted
+    assert got == expected[: len(got)]
+    # nothing but (at most) the final look-ahead window may be in flight
+    assert len(expected) - len(got) <= 16
+
+
+def test_scalar_emissions_invariant_to_tick_choice():
+    """The tick bounds the look-ahead only — bit-identical scalar output
+    (times included) for wildly different tick widths."""
+    a = _run_chatter(7, batch=False, tick=0.3)
+    b = _run_chatter(7, batch=False, tick=5.0)
+    assert a.emitted == b.emitted
+    assert a.queries_sent == b.queries_sent
+    assert a.rng.getstate() == b.rng.getstate()
+
+
+def test_batch_emissions_are_bit_exact_twins_of_scalar():
+    """Batch trains carry the same datagrams in the same order as the
+    scalar twin (timestamps coalesce to the window's last arrival), the
+    booking-time counters agree exactly, and both modes leave the RNG in
+    the same state."""
+    scalar = _run_chatter(23, batch=False, tick=2.0)
+    batch = _run_chatter(23, batch=True, tick=2.0)
+    strip = lambda rows: [(p, ln, t) for _, p, ln, t in rows]
+    s_rows, b_rows = strip(scalar.emitted), strip(batch.emitted)
+    # batch may still hold the final window's train when the run cuts off
+    assert b_rows == s_rows[: len(b_rows)]
+    assert len(s_rows) - len(b_rows) <= 16
+    assert batch.queries_sent == scalar.queries_sent
+    assert batch.rng.getstate() == scalar.rng.getstate()
+    # train emission never reorders inside a window: times are sorted
+    times = [t for t, *_ in batch.emitted]
+    assert times == sorted(times)
+
+
+def test_batch_train_fires_at_window_last_arrival():
+    scalar = _run_chatter(31, batch=False, tick=2.0)
+    batch = _run_chatter(31, batch=True, tick=2.0)
+    s_times = {round(t, 12) for t, *_ in scalar.emitted}
+    # every batch emission instant is one of the scalar arrival instants
+    # (the last of its window) — never an invented timestamp
+    for t, *_ in batch.emitted:
+        assert round(t, 12) in s_times

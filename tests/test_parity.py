@@ -121,7 +121,10 @@ EXPECTED_TRAIN_METHODS = {
     ("DropTailQueue", "enqueue", "enqueue_batch"),
     ("TcpStack", "receive", "receive_batch"),
     ("TcpStack", "send_segment", "send_segment_batch"),
+    ("TcpSocket", "handle", "handle_batch"),
     ("PacketProbe", "__call__", "observe_batch"),
+    ("UdpSocket", "handle", "handle_batch"),
+    ("UdpSocket", "send_to", "send_to_batch"),
     ("UdpStack", "receive", "receive_batch"),
     ("UdpStack", "send_datagram", "send_datagram_batch"),
     ("UpstreamFilter", "should_drop", "should_drop_batch"),
@@ -224,7 +227,10 @@ class TestEmptyBatchIsNoOp:
             ("DropTailQueue", "enqueue_batch"),
             ("TcpStack", "receive_batch"),
             ("TcpStack", "send_segment_batch"),
+            ("TcpSocket", "handle_batch"),
             ("PacketProbe", "observe_batch"),
+            ("UdpSocket", "handle_batch"),
+            ("UdpSocket", "send_to_batch"),
             ("UdpStack", "receive_batch"),
             ("UdpStack", "send_datagram_batch"),
             ("UpstreamFilter", "should_drop_batch"),
@@ -257,6 +263,16 @@ class TestEmptyBatchIsNoOp:
         probe.observe_batch(empty, times)
         host.udp.receive_batch(_empty_udp())
         assert host.udp.send_datagram_batch(_empty_udp()) == 0
+        from repro.sim.tcp import TcpSocket
+
+        tsock = TcpSocket(host.tcp, local_port=2000)
+        tsock.handle_batch(empty)
+        assert tsock.bytes_received == 0 and tsock.rcv_nxt == 0
+        usock = host.udp.bind(5353)
+        usock.handle_batch(_empty_udp())
+        assert usock.send_to_batch(_empty_udp()) == 0
+        assert usock.datagrams_sent == 0 and usock.datagrams_received == 0
+        usock.close()
         assert sim.state_hash() == before
         assert device.rx_count == 0 and device.tx_count == 0
         assert host.packets_received == 0 and peer.packets_received == 0

@@ -1,0 +1,214 @@
+"""Scalar-vs-batch equivalence of TCP bulk transfers.
+
+The benign-plane refactor lets ``TcpSocket`` send windows leave as
+:class:`PacketBatch` trains and lets the receive side consume in-order
+runs columnar-fast.  These tests pin the contract that makes that safe:
+
+* an end-to-end bulk transfer is **per-direction content-identical**
+  whether ``batch_segments`` is on or off: each direction of the wire
+  carries exactly the same segments (addresses, sizes, flags, sequence
+  numbers) in the same order, and every socket-level outcome (delivered
+  messages, byte counters, final sequence state) matches exactly.  Full
+  wire-order bit-identity is *not* the contract — TCP is a feedback
+  loop, so scalar mode interleaves the receiver's ACKs between data
+  frames where a train occupies the medium back-to-back (the same
+  burst-structure shift real NIC batching introduces);
+* ``handle_batch`` is **fold-invariant**: delivering an in-order segment
+  train whole, or split at any contiguous cut points, or row by row,
+  leaves the socket in the same state and produces the same emissions
+  (hypothesis draws the train shapes and the cut points).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import CsmaLan, PacketProbe, Simulator
+from repro.sim.packet import PacketBatch, TcpFlags
+from repro.sim.tcp import MSS, SEND_WINDOW_BYTES
+
+
+def _established_pair(batch_segments):
+    """One client-server pair on a fresh LAN with an established socket.
+
+    Returns ``(sim, lan, probe, server, client, server_sock, client_sock,
+    delivered)`` where ``delivered`` collects every ``on_data`` call on
+    the server socket as ``(length, app_data)``.
+    """
+    sim = Simulator()
+    lan = CsmaLan(sim, data_rate="1Gbps")
+    server, client = lan.add_host("s"), lan.add_host("c")
+    server.tcp.seed(1)
+    client.tcp.seed(2)
+    server.tcp.batch_segments = batch_segments
+    client.tcp.batch_segments = batch_segments
+    probe = lan.add_probe(PacketProbe())
+    delivered = []
+    accepted = []
+
+    def on_accept(sock):
+        sock.on_data = lambda s, p, n, a: delivered.append((n, a))
+        accepted.append(sock)
+
+    server.tcp.listen(80, on_accept)
+    csock = client.tcp.socket()
+    established = []
+    csock.connect(server.address, 80, lambda s: established.append(s))
+    sim.run(until=1.0)
+    assert established and accepted, "handshake did not complete"
+    return sim, lan, probe, server, client, accepted[0], csock, delivered
+
+
+def _wire_rows(probe):
+    """Probe records as comparable tuples (they already are named tuples)."""
+    return list(probe.records)
+
+
+def _direction(records, client_to_server):
+    """Timestamp-free projection of one wire direction, order preserved."""
+    return [
+        (r.src_ip, r.dst_ip, r.src_port, r.dst_port, r.size, r.tcp_flags, r.seq)
+        for r in records
+        if (r.dst_port == 80) == client_to_server
+    ]
+
+
+class TestScalarVsBatchBulkTransfer:
+    def _transfer(self, batch_segments, total):
+        sim, _, probe, server, client, ssock, csock, delivered = _established_pair(
+            batch_segments
+        )
+        csock.send(length=total, app_data="xfer")
+        sim.run(until=30.0)
+        records = _wire_rows(probe)
+        return {
+            "n_records": len(records),
+            "data_path": _direction(records, client_to_server=True),
+            "ack_path": _direction(records, client_to_server=False),
+            "delivered": list(delivered),
+            "bytes_received": ssock.bytes_received,
+            "bytes_sent": csock.bytes_sent,
+            "snd_una": csock.snd_una,
+            "rcv_nxt": ssock.rcv_nxt,
+        }
+
+    def test_single_window_content_identical(self):
+        scalar = self._transfer(False, 20_000)
+        batched = self._transfer(True, 20_000)
+        assert scalar == batched
+        assert scalar["bytes_received"] == 20_000
+
+    def test_multi_window_content_identical(self):
+        total = 3 * SEND_WINDOW_BYTES + 777
+        scalar = self._transfer(False, total)
+        batched = self._transfer(True, total)
+        assert scalar == batched
+        assert scalar["bytes_received"] == total
+
+    @settings(max_examples=12, deadline=None)
+    @given(total=st.integers(min_value=1, max_value=4 * MSS))
+    def test_any_message_size_content_identical(self, total):
+        assert self._transfer(False, total) == self._transfer(True, total)
+
+
+@st.composite
+def _train_shapes(draw):
+    """An in-order data train (per-segment lengths) plus fold cut points."""
+    lens = draw(st.lists(st.integers(1, MSS), min_size=2, max_size=24))
+    n = len(lens)
+    cuts = draw(st.sets(st.integers(1, n - 1), max_size=n - 1))
+    bounds = [0, *sorted(cuts), n]
+    folds = list(zip(bounds, bounds[1:]))
+    return lens, folds
+
+
+def _data_train(client, server, csock, lens):
+    """The train ``csock`` would emit for one write of ``sum(lens)`` bytes."""
+    n = len(lens)
+    lens_arr = np.asarray(lens, dtype=np.int64)
+    shifted = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(lens_arr[:-1])))
+    seqs = (int(csock.snd_nxt) + shifted) & np.int64(0xFFFFFFFF)
+    return PacketBatch.tcp_batch(
+        n,
+        src_ip=client.address.value,
+        dst_ip=server.address.value,
+        src_port=csock.local_port,
+        dst_port=80,
+        seq=seqs,
+        ack=int(csock.rcv_nxt),
+        flags=TcpFlags.ACK | TcpFlags.PSH,
+        payload_len=lens_arr,
+    )
+
+
+class TestHandleBatchFoldInvariance:
+    def _deliver_folds(self, lens, folds):
+        sim, _, probe, server, client, ssock, csock, delivered = _established_pair(True)
+        train = _data_train(client, server, csock, lens)
+        for start, stop in folds:
+            ssock.handle_batch(train.slice(start, stop))
+        sim.run(until=2.0)
+        return {
+            "rcv_nxt": ssock.rcv_nxt,
+            "bytes_received": ssock.bytes_received,
+            "snd_nxt": ssock.snd_nxt,
+            "delivered": list(delivered),
+            "records": _wire_rows(probe),
+        }
+
+    @settings(max_examples=20, deadline=None)
+    @given(shape=_train_shapes())
+    def test_fold_equivalence_on_data_trains(self, shape):
+        lens, folds = shape
+        whole = self._deliver_folds(lens, [(0, len(lens))])
+        split = self._deliver_folds(lens, folds)
+        assert whole == split
+        assert whole["bytes_received"] == sum(lens)
+
+    def test_row_by_row_matches_whole_train(self):
+        lens = [MSS] * 7 + [311]
+        whole = self._deliver_folds(lens, [(0, len(lens))])
+        rows = self._deliver_folds(lens, [(i, i + 1) for i in range(len(lens))])
+        assert whole == rows
+
+
+class TestAckTrainFoldInvariance:
+    def _ack_folds(self, cuts):
+        """Send a window, then deliver its cumulative ACKs in folds."""
+        sim, _, probe, server, client, ssock, csock, delivered = _established_pair(True)
+        total = SEND_WINDOW_BYTES  # fills the window: 46 full + 1 short segment
+        csock.send(length=total)
+        lens = [min(MSS, total - off) for off in range(0, total, MSS)]
+        acked = np.cumsum(np.asarray(lens, dtype=np.int64))
+        acks = (int(csock.snd_una) + acked) & np.int64(0xFFFFFFFF)
+        n = len(lens)
+        train = PacketBatch.tcp_batch(
+            n,
+            src_ip=server.address.value,
+            dst_ip=client.address.value,
+            src_port=80,
+            dst_port=csock.local_port,
+            seq=int(csock.rcv_nxt),
+            ack=acks,
+            flags=TcpFlags.ACK,
+            payload_len=0,
+        )
+        bounds = [0, *cuts, n]
+        for start, stop in zip(bounds, bounds[1:]):
+            csock.handle_batch(train.slice(start, stop))
+        state = {
+            "snd_una": csock.snd_una,
+            "inflight": csock.inflight_bytes,
+        }
+        sim.run(until=5.0)
+        state["records"] = _wire_rows(probe)
+        state["delivered_after_run"] = list(delivered)
+        return state
+
+    def test_ack_train_fold_equivalence(self):
+        whole = self._ack_folds([])
+        halves = self._ack_folds([23])
+        thirds = self._ack_folds([11, 31])
+        rows = self._ack_folds(list(range(1, 47)))
+        assert whole == halves == thirds == rows
+        assert whole["inflight"] == 0  # the train acked the entire window
