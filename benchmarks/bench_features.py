@@ -2,8 +2,9 @@
 """Time the feature pipeline: legacy per-record vs vectorized columnar.
 
 Runs offline `FeatureExtractor.transform` and per-window IDS latency on
-a synthetic capture (default 100k packets) and writes the results to
-``BENCH_features.json`` at the repo root.  ``--smoke`` runs a tiny
+a synthetic capture (default 100k packets) and appends the results to
+the ``BENCH_features.json`` history at the repo root (compare runs
+across commits with ``ddoshield bench-compare``).  ``--smoke`` runs a tiny
 capture for CI (seconds, exercises the vectorized path end to end
 including the legacy-equivalence assertion, but makes no speedup claim).
 
@@ -16,7 +17,7 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
-from repro.features.bench import format_benchmark, run_feature_benchmark, write_benchmark
+from repro.features.bench import format_benchmark, merge_benchmark, run_feature_benchmark
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_features.json"
 
@@ -47,7 +48,7 @@ def main(argv: list[str] | None = None) -> int:
         repeats=args.repeats,
     )
     result["smoke"] = args.smoke
-    path = write_benchmark(result, args.out)
+    path = merge_benchmark(result, args.out, "features")
     print(format_benchmark(result))
     print(f"wrote {path}")
     return 0

@@ -136,7 +136,16 @@ class Sanitizer:
     ) -> None:
         """Raise (fatal mode) or record one violation."""
         if self.fatal:
-            raise SanitizerError(kind, message, context)
+            error = SanitizerError(kind, message, context)
+            # When an obs scope is live, ship the flight-recorder ring
+            # with the error so the fatal violation carries a postmortem
+            # of the kernel's last moments, not just an invariant name.
+            from repro import obs
+
+            ctx = obs.current()
+            if ctx.enabled and ctx.flight is not None:
+                error.flight_dump = ctx.flight.dump(registry=ctx.registry)
+            raise error
         self.violations.append(
             Violation(
                 kind=kind,

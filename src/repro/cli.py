@@ -27,6 +27,12 @@ Four commands cover the testbed's day-to-day uses:
 * ``ddoshield bench-sim`` — time the batched event kernel against
   scalar per-packet dispatch across node counts, check scalar/batch
   equivalence, and write ``BENCH_sim.json``;
+* ``ddoshield profile`` — run a flood scene under the deterministic
+  kernel profiler and print the per-subsystem attribution table (with
+  optional collapsed-stack flamegraph and flight-recorder exports);
+* ``ddoshield bench-compare`` — diff the newest entry of the
+  append-only BENCH histories against a baseline under tolerance bands
+  and exit non-zero on regression;
 * ``ddoshield timeline`` — run one telemetry-enabled experiment and
   render the unified per-second run timeline (traffic bars, accuracy,
   attack/fault/queue-drop markers) as an ASCII chart, with optional
@@ -290,8 +296,8 @@ def cmd_inventory(args: argparse.Namespace) -> int:
 def cmd_bench_features(args: argparse.Namespace) -> int:
     from repro.features.bench import (
         format_benchmark,
+        merge_benchmark,
         run_feature_benchmark,
-        write_benchmark,
     )
 
     result = run_feature_benchmark(
@@ -303,7 +309,7 @@ def cmd_bench_features(args: argparse.Namespace) -> int:
     )
     print(format_benchmark(result))
     if args.out:
-        print(f"wrote {write_benchmark(result, args.out)}")
+        print(f"wrote {merge_benchmark(result, args.out, 'features')}")
     return 0
 
 
@@ -351,6 +357,84 @@ def cmd_bench_sim(args: argparse.Namespace) -> int:
     if args.out:
         print(f"wrote {merge_benchmark(result, args.out, 'flood')}")
     return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.sim.bench import build_and_run_flood
+
+    ctx = obs.ObsContext.make(enabled=True, profile=True)
+    with obs.scope(ctx):
+        run = build_and_run_flood(
+            n_nodes=args.nodes,
+            batch=not args.scalar,
+            pps_per_node=args.pps,
+            duration=args.duration,
+            seed=args.seed,
+            attack=args.attack,
+            devices_per_segment=args.segment_size,
+        )
+    profiler = ctx.profiler
+    include_wall = not args.no_wall
+    print(
+        f"profiled {args.attack} flood: {args.nodes} node(s), "
+        f"{run['events']} event(s), {run['packets_sent']} packet(s) sent, "
+        f"{run['wall_seconds'] * 1000.0:.1f} ms wall"
+    )
+    print(profiler.format_table(top=args.top, include_wall=include_wall))
+    if args.flamegraph:
+        Path(args.flamegraph).write_text(
+            profiler.collapsed_stacks(include_wall=include_wall)
+        )
+        print(f"wrote {args.flamegraph}")
+    if args.flight:
+        import json
+
+        Path(args.flight).write_text(
+            json.dumps(ctx.flight.dump(registry=ctx.registry), indent=2) + "\n"
+        )
+        print(f"wrote {args.flight}")
+    if args.json:
+        import json
+
+        Path(args.json).write_text(
+            json.dumps(profiler.snapshot(include_wall=include_wall), indent=2) + "\n"
+        )
+        print(f"wrote {args.json}")
+    if args.min_attribution is not None:
+        fraction = profiler.attribution()["named_fraction"]
+        if fraction < args.min_attribution:
+            print(
+                f"named-subsystem attribution {fraction:.1%} below required "
+                f"{args.min_attribution:.1%}"
+            )
+            return 1
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.obs.regress import compare_file
+
+    exit_code = 0
+    for path in args.paths:
+        comparisons = compare_file(
+            path,
+            sections=args.section or None,
+            tolerance=args.tolerance,
+            baseline=args.baseline,
+        )
+        if not comparisons:
+            print(f"{path}: no benchmark sections recorded")
+            continue
+        print(f"{path}:")
+        for comparison in comparisons:
+            print(comparison.format_text())
+            if comparison.regressions and args.assert_no_regression:
+                exit_code = 1
+            if comparison.baseline_sha is None and args.require_baseline:
+                print(f"  => baseline required but none found for [{comparison.section}]")
+                exit_code = 1
+    return exit_code
 
 
 def _run_observed(args: argparse.Namespace):
@@ -630,6 +714,74 @@ def build_parser() -> argparse.ArgumentParser:
              "largest node count falls below this (CI floor)",
     )
     bench_sim.set_defaults(fn=cmd_bench_sim)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile the event kernel on a flood scene and attribute wall "
+             "time per subsystem",
+    )
+    profile.add_argument("--nodes", type=int, default=64, help="attacker count")
+    profile.add_argument("--pps", type=float, default=20000.0)
+    profile.add_argument("--duration", type=float, default=0.05)
+    profile.add_argument("--seed", type=int, default=7)
+    profile.add_argument(
+        "--attack", default="syn", choices=["syn", "udp", "ack", "http"]
+    )
+    profile.add_argument("--segment-size", type=int, default=64,
+                         help="devices per CSMA segment (0 = flat LAN)")
+    profile.add_argument("--scalar", action="store_true",
+                         help="profile the scalar per-packet path instead of batch")
+    profile.add_argument("--top", type=int, default=15,
+                         help="callsite rows in the table (default: 15)")
+    profile.add_argument(
+        "--no-wall", action="store_true",
+        help="event/train counts only — byte-identical output for a seed",
+    )
+    profile.add_argument("--flamegraph", default=None,
+                         help="write a collapsed-stack file (flamegraph.pl input)")
+    profile.add_argument("--flight", default=None,
+                         help="write the run's flight-recorder dump as JSON")
+    profile.add_argument("--json", default=None,
+                         help="write the full profiler snapshot as JSON")
+    profile.add_argument(
+        "--min-attribution", type=float, default=None,
+        help="exit non-zero if the named-subsystem share of measured wall "
+             "time falls below this fraction (CI gate, e.g. 0.95)",
+    )
+    profile.set_defaults(fn=cmd_profile)
+
+    bench_compare = sub.add_parser(
+        "bench-compare",
+        help="diff the newest bench-history entry against a baseline and "
+             "flag regressions",
+    )
+    bench_compare.add_argument(
+        "paths", nargs="*", default=["BENCH_sim.json", "BENCH_features.json"],
+        help="bench history files (default: BENCH_sim.json BENCH_features.json)",
+    )
+    bench_compare.add_argument(
+        "--section", action="append", default=[],
+        help="restrict to a section (flood/benign/features); repeatable",
+    )
+    bench_compare.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="relative tolerance band before a delta counts as a regression "
+             "(default: 0.30)",
+    )
+    bench_compare.add_argument(
+        "--baseline", default=None,
+        help="sha prefix of the baseline entry (default: the most recent "
+             "earlier entry with a matching config fingerprint)",
+    )
+    bench_compare.add_argument(
+        "--assert-no-regression", action="store_true",
+        help="exit non-zero when any compared metric regresses beyond tolerance",
+    )
+    bench_compare.add_argument(
+        "--require-baseline", action="store_true",
+        help="exit non-zero when a section has no comparable baseline entry",
+    )
+    bench_compare.set_defaults(fn=cmd_bench_compare)
 
     def _add_observed_args(p: argparse.ArgumentParser) -> None:
         _add_scenario_args(p)

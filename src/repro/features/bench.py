@@ -115,6 +115,21 @@ def write_benchmark(result: dict, path: str | Path) -> Path:
     return path
 
 
+def merge_benchmark(result: dict, path: str | Path, section: str = "features") -> Path:
+    """Record a feature-bench result into the shared BENCH history.
+
+    Same append-only ``ddoshield-bench-history/v1`` scheme as
+    :func:`repro.sim.bench.merge_benchmark`, so ``BENCH_features.json``
+    carries a performance trajectory that ``ddoshield bench-compare``
+    can gate on, instead of being overwritten per run.
+    """
+    from repro.obs.regress import record_benchmark
+
+    path = Path(path)
+    record_benchmark(result, path, section)
+    return path
+
+
 def format_benchmark(result: dict) -> str:
     """Human-readable one-screen summary of a benchmark result."""
     offline = result["offline_transform"]

@@ -19,6 +19,8 @@ and never enters pipeline cache keys.
 
 from repro.obs.context import ObsContext, current, scope
 from repro.obs.events import EventLog, ObsEvent, events_from_dicts
+from repro.obs.flight import FlightRecorder
+from repro.obs.profile import KernelProfiler, callsite_label, classify_owner
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
     Counter,
@@ -35,8 +37,10 @@ __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
     "EventLog",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "KernelProfiler",
     "MetricsRegistry",
     "NULL_INSTRUMENT",
     "NULL_SPAN",
@@ -47,7 +51,9 @@ __all__ = [
     "Span",
     "SpanHandle",
     "SpanTracer",
+    "callsite_label",
     "chrome_trace",
+    "classify_owner",
     "current",
     "events_from_dicts",
     "scope",

@@ -67,6 +67,64 @@ def run_overhead_benchmark(iterations: int = 200_000, repeats: int = 5) -> dict:
     }
 
 
+class _BenchEvent:
+    """Minimal stand-in for a kernel Event (callback + args)."""
+
+    __slots__ = ("time", "callback", "args")
+
+    def __init__(self, callback, args=()) -> None:
+        self.time = 0.0
+        self.callback = callback
+        self.args = args
+
+
+def _loop_dispatch_direct(events) -> None:
+    for event in events:
+        event.callback(*event.args)
+
+
+def _loop_dispatch_gated(events, profiler) -> None:
+    # The exact shape of the kernel's dispatch sites: one `is None`
+    # check per event when profiling is off.
+    for event in events:
+        if profiler is None:
+            event.callback(*event.args)
+        else:
+            profiler.dispatch(event)
+
+
+def run_profiler_overhead_benchmark(iterations: int = 50_000, repeats: int = 5) -> dict:
+    """Measure the profiler's dispatch-site overhead.
+
+    Three variants of draining the same event list: direct callback
+    (the pre-profiler kernel), the gated dispatch with profiling *off*
+    (what every un-profiled run now pays — the pinned bound), and with
+    profiling *on* (two clock reads + a dict hit per event).
+    """
+    from repro.obs.profile import KernelProfiler
+
+    def _noop() -> None:
+        pass
+
+    events = [_BenchEvent(_noop) for _ in range(iterations)]
+    profiler = KernelProfiler()
+
+    base = _time_best(lambda: _loop_dispatch_direct(events), repeats)
+    off = _time_best(lambda: _loop_dispatch_gated(events, None), repeats)
+    on = _time_best(lambda: _loop_dispatch_gated(events, profiler), repeats)
+
+    scale = 1e9 / iterations
+    return {
+        "iterations": iterations,
+        "repeats": repeats,
+        "direct_ns": base * scale,
+        "profile_off_ns": off * scale,
+        "profile_on_ns": on * scale,
+        "profile_off_ratio": off / base if base else float("inf"),
+        "profile_on_ratio": on / base if base else float("inf"),
+    }
+
+
 def main() -> None:
     result = run_overhead_benchmark()
     print(f"iterations per variant : {result['iterations']} (best of {result['repeats']})")
@@ -78,6 +136,16 @@ def main() -> None:
     print(
         f"enabled registry inc() : {result['enabled_ns']:8.2f} ns/iter "
         f"({result['enabled_ratio']:.2f}x)"
+    )
+    prof = run_profiler_overhead_benchmark()
+    print(f"dispatch direct        : {prof['direct_ns']:8.2f} ns/event")
+    print(
+        f"dispatch, profile off  : {prof['profile_off_ns']:8.2f} ns/event "
+        f"({prof['profile_off_ratio']:.2f}x)"
+    )
+    print(
+        f"dispatch, profile on   : {prof['profile_on_ns']:8.2f} ns/event "
+        f"({prof['profile_on_ratio']:.2f}x)"
     )
 
 

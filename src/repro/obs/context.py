@@ -35,40 +35,68 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.obs.events import EventLog
+from repro.obs.flight import DEFAULT_CAPACITY, FlightRecorder
+from repro.obs.profile import KernelProfiler
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import SpanTracer
 
 
 @dataclass
 class ObsContext:
-    """One telemetry scope: metrics + spans + events, on or off together."""
+    """One telemetry scope: metrics + spans + events, on or off together.
+
+    An enabled context also carries a :class:`FlightRecorder` (the crash
+    postmortem ring — always on with telemetry, it is nearly free) and,
+    when requested with ``make(profile=True)``, a
+    :class:`KernelProfiler` that the event kernel routes dispatches
+    through.
+    """
 
     registry: MetricsRegistry
     tracer: SpanTracer
     events: EventLog
     enabled: bool
+    flight: FlightRecorder | None = None
+    profiler: KernelProfiler | None = None
 
     @classmethod
-    def make(cls, enabled: bool = True) -> "ObsContext":
-        return cls(
+    def make(
+        cls,
+        enabled: bool = True,
+        profile: bool = False,
+        flight_capacity: int = DEFAULT_CAPACITY,
+    ) -> "ObsContext":
+        flight = FlightRecorder(capacity=flight_capacity) if enabled else None
+        ctx = cls(
             registry=MetricsRegistry(enabled=enabled),
             tracer=SpanTracer(enabled=enabled),
             events=EventLog(enabled=enabled),
             enabled=enabled,
+            flight=flight,
+            profiler=KernelProfiler() if (enabled and profile) else None,
         )
+        # Spans and metric events feed the flight ring as they happen.
+        ctx.tracer.flight = flight
+        ctx.events.flight = flight
+        return ctx
 
     def snapshot(self, include_wall: bool = True) -> dict:
         """JSON-able dump of everything this scope observed.
 
         With ``include_wall=False`` the result is deterministic for a
-        seed: wall-clock metrics, span wall costs, and nothing else are
-        dropped (sim-time content is identical either way).
+        seed: wall-clock metrics, span wall costs, and profiler wall
+        attributions are dropped (sim-time content is identical either
+        way).
         """
-        return {
+        payload = {
             "metrics": self.registry.snapshot(include_wall=include_wall),
             "spans": self.tracer.to_dicts(include_wall=include_wall),
             "events": self.events.to_dicts(),
+            "flight": self.flight.to_dicts() if self.flight is not None else [],
         }
+        if self.profiler is not None:
+            payload["profile"] = self.profiler.snapshot(include_wall=include_wall)
+        return payload
 
 
 _DISABLED = ObsContext.make(enabled=False)
@@ -81,11 +109,11 @@ def current() -> ObsContext:
 
 
 @contextmanager
-def scope(ctx: ObsContext | None = None) -> Iterator[ObsContext]:
+def scope(ctx: ObsContext | None = None, profile: bool = False) -> Iterator[ObsContext]:
     """Make ``ctx`` (default: a fresh enabled context) current for a block."""
     global _current
     if ctx is None:
-        ctx = ObsContext.make(enabled=True)
+        ctx = ObsContext.make(enabled=True, profile=profile)
     previous = _current
     _current = ctx
     try:

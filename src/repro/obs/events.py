@@ -52,6 +52,9 @@ class EventLog:
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.events: list[ObsEvent] = []
+        # Optional FlightRecorder mirror of recorded events (wired by
+        # ObsContext.make; plain attribute to avoid imports).
+        self.flight = None
 
     def __len__(self) -> int:
         return len(self.events)
@@ -66,6 +69,8 @@ class EventLog:
         if not self.enabled:
             return
         self.events.append(ObsEvent(time, kind, detail, value))
+        if self.flight is not None:
+            self.flight.note(time, kind, detail, value)
 
     def by_kind(self, prefix: str) -> list[ObsEvent]:
         """Events whose kind equals or starts with ``prefix``."""

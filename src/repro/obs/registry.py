@@ -19,6 +19,7 @@ byte-identical-exports guarantee relies on.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from typing import Iterable
 
@@ -85,6 +86,26 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q`` quantile (``0.0 <= q <= 1.0``).
+
+        Returns the smallest bucket bound whose cumulative count covers
+        ``q`` of the observations — a conservative (never-underestimating)
+        quantile, exact to bucket resolution.  Observations past the last
+        bound report ``inf``; an empty histogram reports ``0.0``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile rank must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for bound, count in zip(self.buckets, self.bucket_counts):
+            cumulative += count
+            if cumulative >= target:
+                return bound
+        return math.inf
 
     def bucket_dict(self) -> dict[str, int]:
         labels = [repr(b) for b in self.buckets] + ["+Inf"]

@@ -18,6 +18,7 @@ bars, an accuracy column, and event markers per second.
 from __future__ import annotations
 
 import json
+import math
 from typing import TYPE_CHECKING, Iterable
 
 from repro.obs.events import ObsEvent
@@ -27,6 +28,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Event-kind prefixes surfaced as row markers in the ASCII chart.
 MARKER_PREFIXES = ("attack", "fault", "supervisor", "mitigation")
+
+#: Widest bucket span the dense export will materialize; beyond this the
+#: export falls back to sparse rows (only buckets that hold data).  A
+#: single stray far-future timestamp must not turn a chart render into a
+#: multi-gigabyte allocation.
+MAX_DENSE_BUCKETS = 100_000
 
 
 class RunTimeline:
@@ -57,8 +64,12 @@ class RunTimeline:
         """Record ``value`` into ``column`` at ``time``'s bucket.
 
         ``mode="sum"`` accumulates (counts); ``mode="set"`` overwrites
-        (point-in-time series like accuracy or queue depth).
+        (point-in-time series like accuracy or queue depth).  Non-finite
+        times or values (NaN/inf from a degenerate zero-duration run)
+        are dropped rather than poisoning the bucket index.
         """
+        if not (math.isfinite(time) and math.isfinite(value)):
+            return
         self._register_column(column)
         cell = self._cell(self._bucket(time))
         if mode == "sum":
@@ -70,6 +81,8 @@ class RunTimeline:
 
     def add_mark(self, time: float, mark: str) -> None:
         """Attach a human-readable marker to ``time``'s bucket."""
+        if not math.isfinite(time):
+            return
         marks = self._marks.setdefault(self._bucket(time), [])
         if mark not in marks:
             marks.append(mark)
@@ -113,14 +126,24 @@ class RunTimeline:
         return sorted(self._columns)
 
     def rows(self) -> list[dict]:
-        """Dense per-bucket rows from the first to the last seen bucket."""
+        """Dense per-bucket rows from the first to the last seen bucket.
+
+        When the bucket span exceeds :data:`MAX_DENSE_BUCKETS` (a stray
+        far-future sample, or marks scattered over a huge idle range)
+        only populated buckets are emitted, keeping the export bounded
+        by data volume instead of time span.
+        """
         if not self._cells and not self._marks:
             return []
         buckets = set(self._cells) | set(self._marks)
         first, last = min(buckets), max(buckets)
+        if last - first + 1 > MAX_DENSE_BUCKETS:
+            ordered: Iterable[int] = sorted(buckets)
+        else:
+            ordered = range(first, last + 1)
         columns = self.columns
         out = []
-        for bucket in range(first, last + 1):
+        for bucket in ordered:
             cell = self._cells.get(bucket, {})
             row: dict = {"second": bucket * self.bucket_seconds}
             for column in columns:
@@ -147,7 +170,7 @@ class RunTimeline:
             rendered = []
             for column in columns:
                 value = row[column]
-                if isinstance(value, float) and value == int(value):
+                if isinstance(value, float) and math.isfinite(value) and value == int(value):
                     rendered.append(str(int(value)))
                 else:
                     rendered.append(str(value))

@@ -77,6 +77,9 @@ class SpanHandle:
         self.begin = self._tracer._now()
         self._wall_begin = _time.perf_counter()  # repro: lint-ok[TIME001] -- telemetry wall-cost estimate, isolated from simulation state
         self._open = True
+        flight = self._tracer.flight
+        if flight is not None:
+            flight.note(self.begin, "span.open", self.name)
         return self
 
     def finish(self) -> None:
@@ -86,6 +89,9 @@ class SpanHandle:
         self._open = False
         self.wall_seconds = _time.perf_counter() - self._wall_begin  # repro: lint-ok[TIME001] -- telemetry wall-cost estimate, isolated from simulation state
         self.end = self._tracer._now()
+        flight = self._tracer.flight
+        if flight is not None:
+            flight.note(self.end, "span.close", self.name)
         self._tracer.spans.append(
             Span(
                 name=self.name,
@@ -146,6 +152,9 @@ class SpanTracer:
         self.enabled = enabled
         self.spans: list[Span] = []
         self._clock = clock
+        # Optional FlightRecorder fed with span.open/span.close edges
+        # (wired by ObsContext.make; plain attribute to avoid imports).
+        self.flight = None
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Point the tracer at a (new) source of simulated time."""

@@ -120,6 +120,10 @@ class RunRecord:
     #: Execution attempts (1 + retries).  Gated under ``include_timing``
     #: because cached repeats succeed first try regardless of history.
     attempts: int = 1
+    #: Flight-recorder postmortem for failed runs (the ring of kernel
+    #: dispatches / events / spans just before death plus crash-time
+    #: metric state); None for successes.
+    flight: dict | None = None
 
     @property
     def failed(self) -> bool:
@@ -140,6 +144,7 @@ class RunRecord:
             "fault_table": self.fault_table,
             "recovery": self.recovery,
             "error": self.error,
+            "flight": self.flight,
         }
         if include_timing:
             payload["stage_cache"] = self.stage_cache
@@ -172,14 +177,22 @@ def execute_run(run: CampaignRun) -> RunRecord:
     # baselined perf_counter reads used to measure directly).
     with obs.scope() as octx:
         span = octx.tracer.span("campaign.run", label=run.label, seed=run.seed)
-        with span:
-            result, outcome = run_experiment_pipeline(
-                scenario=run.scenario,
-                train_duration=run.train_duration,
-                detect_duration=run.detect_duration,
-                faults=run.faults,
-                store=run.cache_dir,
-            )
+        try:
+            with span:
+                result, outcome = run_experiment_pipeline(
+                    scenario=run.scenario,
+                    train_duration=run.train_duration,
+                    detect_duration=run.detect_duration,
+                    faults=run.faults,
+                    store=run.cache_dir,
+                )
+        except Exception as exc:
+            # Any death inside the run — crash, sanitizer, or the
+            # SIGALRM timeout — leaves this scope's flight ring on the
+            # exception so the tombstone carries a postmortem.
+            if octx.flight is not None and getattr(exc, "flight_dump", None) is None:
+                exc.flight_dump = octx.flight.dump(registry=octx.registry)
+            raise
         elapsed = span.wall_seconds
         telemetry = octx.snapshot()
     return RunRecord(
@@ -233,7 +246,9 @@ def _deadline(seconds: float | None):
         signal.signal(signal.SIGALRM, previous)
 
 
-def _failed_record(run: CampaignRun, error: str, attempts: int) -> RunRecord:
+def _failed_record(
+    run: CampaignRun, error: str, attempts: int, flight: dict | None = None
+) -> RunRecord:
     """A tombstone record: the grid cell's slot, minus any tables."""
     return RunRecord(
         label=run.label,
@@ -251,6 +266,7 @@ def _failed_record(run: CampaignRun, error: str, attempts: int) -> RunRecord:
         elapsed_seconds=0.0,
         error=error,
         attempts=attempts,
+        flight=flight,
     )
 
 
@@ -278,7 +294,10 @@ def execute_run_safe(
         except Exception as exc:  # noqa: BLE001 — tombstone everything
             if attempts > max_retries:
                 return _failed_record(
-                    run, f"{type(exc).__name__}: {exc}", attempts
+                    run,
+                    f"{type(exc).__name__}: {exc}",
+                    attempts,
+                    flight=getattr(exc, "flight_dump", None),
                 )
 
 
@@ -435,10 +454,13 @@ class CampaignReport:
             lines[0] += f" — {self.runs_failed} failed, {self.runs_retried} retried"
         for record in self.records:
             if record.failed:
-                lines.append(
+                line = (
                     f"  {record.label} seed={record.seed}: FAILED "
                     f"({record.error}) after {record.attempts} attempt(s)"
                 )
+                if record.flight:
+                    line += f" [flight: {len(record.flight.get('entries', []))} entries]"
+                lines.append(line)
                 continue
             cells = ", ".join(f"{model} {accuracy:.2f}%" for model, accuracy in record.table1)
             lines.append(

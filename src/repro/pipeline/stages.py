@@ -445,7 +445,19 @@ def run_experiment_pipeline(
             ),
             store=store,
         )
-        outcome = runner.run(scenario)
+        try:
+            outcome = runner.run(scenario)
+        except Exception as exc:
+            # Attach the flight-recorder postmortem to whatever killed
+            # the run (SanitizerError already carries one; anything else
+            # — a crash mid-stage — gets the ring as seen from here).
+            if (
+                octx.enabled
+                and octx.flight is not None
+                and getattr(exc, "flight_dump", None) is None
+            ):
+                exc.flight_dump = octx.flight.dump(registry=octx.registry)
+            raise
         train_art: CaptureArtifact = outcome.value("capture-train")
         detect_art: CaptureArtifact = outcome.value("capture-detect")
         common = dict(

@@ -45,7 +45,7 @@ from repro.sim.tracing import PacketProbe
 VERDICT_THRESHOLD = 0.5
 
 
-def _build_and_run(
+def build_and_run_flood(
     n_nodes: int,
     batch: bool,
     pps_per_node: float,
@@ -54,7 +54,11 @@ def _build_and_run(
     attack: str,
     devices_per_segment: int,
 ) -> dict:
-    """One flood run; returns counters, records, and wall time."""
+    """One flood run; returns counters, records, and wall time.
+
+    Public so ``ddoshield profile`` can drive the canonical flood scene
+    under a profiling scope without duplicating the topology setup.
+    """
     sim = Simulator()
     if devices_per_segment > 0:
         lan: CsmaLan | SegmentedLan = SegmentedLan(
@@ -131,10 +135,10 @@ def run_sim_benchmark(
     """
     runs = []
     for n in node_counts:
-        scalar = _build_and_run(
+        scalar = build_and_run_flood(
             n, False, pps_per_node, duration, seed, attack, devices_per_segment
         )
-        batched = _build_and_run(
+        batched = build_and_run_flood(
             n, True, pps_per_node, duration, seed, attack, devices_per_segment
         )
         bit_identical = scalar["records"] == batched["records"]
@@ -409,27 +413,17 @@ def write_benchmark(result: dict, path: str | Path) -> Path:
 
 
 def merge_benchmark(result: dict, path: str | Path, section: str) -> Path:
-    """Merge one section (``"flood"`` or ``"benign"``) into a BENCH file.
+    """Record one section (``"flood"`` or ``"benign"``) into a BENCH history.
 
-    ``BENCH_sim.json`` holds one object per workload so flood and benign
-    sweeps can be (re)run independently without clobbering each other.
-    Legacy files that held the flood result at top level are upgraded in
-    place; unparseable files are overwritten rather than crashed on.
+    Results append to the ``ddoshield-bench-history/v1`` store (keyed by
+    git sha, date, and config fingerprint) instead of overwriting, so
+    ``ddoshield bench-compare`` can diff runs across commits.  Legacy
+    single-run files are upgraded in place on first append.
     """
+    from repro.obs.regress import record_benchmark
+
     path = Path(path)
-    payload: dict = {}
-    if path.exists():
-        try:
-            existing = json.loads(path.read_text())
-        except json.JSONDecodeError:
-            existing = None
-        if isinstance(existing, dict):
-            if "flood" in existing or "benign" in existing:
-                payload = existing
-            elif "runs" in existing:
-                payload = {"flood": existing}
-    payload[section] = result
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    record_benchmark(result, path, section)
     return path
 
 

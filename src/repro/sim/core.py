@@ -213,6 +213,14 @@ class Simulator:
         self._obs_compactions = ctx.registry.counter("sim.heap_compactions")
         self._obs_batch_scheduled = ctx.registry.counter("sim.events_batch_scheduled")
         self._obs_buckets_drained = ctx.registry.counter("sim.buckets_drained")
+        # Flight recorder and profiler ride the same ambient context;
+        # both default to None so the dispatch sites pay one `is None`
+        # check per event when observability is off (bound pinned by
+        # repro.obs.bench / tests/test_obs.py).
+        flight = ctx.flight
+        self._flight = flight if (flight is not None and flight.enabled) else None
+        profiler = ctx.profiler
+        self._profiler = profiler if (profiler is not None and profiler.enabled) else None
         if ctx.enabled:
             ctx.tracer.bind_clock(lambda: self._now)
         if self.sanitizer is not None:
@@ -460,7 +468,12 @@ class Simulator:
                     self._events_executed += 1
                     self._obs_dispatched.inc()
                     self._obs_heap_depth.set(len(heap))
-                    event.callback(*event.args)
+                    if self._flight is not None:
+                        self._flight.note_dispatch(event.time, event.callback)
+                    if self._profiler is None:
+                        event.callback(*event.args)
+                    else:
+                        self._profiler.dispatch(event)
                     continue
                 # Drain the whole (time, priority) bucket in one pop-loop.
                 # Events scheduled *during* the bucket land behind it in seq
@@ -480,6 +493,8 @@ class Simulator:
                     bucket.append(mate)
                 self._obs_buckets_drained.inc()
                 self._obs_heap_depth.set(len(heap))
+                if self._profiler is not None:
+                    self._profiler.note_bucket(len(bucket))
                 if self._shuffle_rng is not None and len(bucket) > 1:
                     # Race detector: bucket mates claim to commute, so a
                     # deterministic permutation must not change results.
@@ -500,7 +515,12 @@ class Simulator:
                             self.sanitizer.check_event(ev, self._now)
                         self._events_executed += 1
                         self._obs_dispatched.inc()
-                        ev.callback(*ev.args)
+                        if self._flight is not None:
+                            self._flight.note_dispatch(ev.time, ev.callback)
+                        if self._profiler is None:
+                            ev.callback(*ev.args)
+                        else:
+                            self._profiler.dispatch(ev)
                         if self._stopped:
                             break
                 finally:

@@ -42,6 +42,7 @@ class DropTailQueue:
         self._obs_enqueued = obs.NULL_INSTRUMENT
         self._obs_dropped = obs.NULL_INSTRUMENT
         self._obs_flushed = obs.NULL_INSTRUMENT
+        self._obs_splits = obs.NULL_INSTRUMENT
         self._obs_events = obs.current().events
         self._obs_name = ""
         self._obs_clock: Callable[[], float] | None = None
@@ -52,6 +53,7 @@ class DropTailQueue:
         self._obs_enqueued = ctx.registry.counter("queue.enqueued", queue=name)
         self._obs_dropped = ctx.registry.counter("queue.dropped", queue=name)
         self._obs_flushed = ctx.registry.counter("queue.flushed", queue=name)
+        self._obs_splits = ctx.registry.counter("queue.batch_splits", queue=name)
         self._obs_name = name
         self._obs_clock = clock
 
@@ -103,6 +105,7 @@ class DropTailQueue:
             return 0
         if n > free:
             batch, _tail = batch.split(free)
+            self._obs_splits.inc()
             self.dropped += n - free
             self._obs_dropped.inc(n - free)
             self._record_drop_event()

@@ -257,7 +257,7 @@ class TestScope:
             with octx.tracer.span("stage.build"):
                 pass
         snapshot = octx.snapshot(include_wall=False)
-        assert set(snapshot) == {"metrics", "spans", "events"}
+        assert set(snapshot) == {"metrics", "spans", "events", "flight"}
         json.dumps(snapshot)
 
 
@@ -409,7 +409,7 @@ class TestObservedExperiment:
     def test_result_carries_snapshot(self, observed_run):
         result, _ = observed_run
         assert result.telemetry is not None
-        assert set(result.telemetry) == {"metrics", "spans", "events"}
+        assert set(result.telemetry) == {"metrics", "spans", "events", "flight"}
 
     def test_all_five_stages_have_spans(self, observed_run):
         result, _ = observed_run
